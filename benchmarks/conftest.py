@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+artifacts).  ``REPRO_BENCH_SCALE`` (default 1.0) scales measurement
+windows and round counts: raise it toward the paper's full methodology
+(10 rounds, 60+ s windows), lower it for quick smoke runs.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_seconds(base: float) -> float:
+    return max(10.0, base * bench_scale())
+
+
+def scaled_rounds(base: int) -> int:
+    return max(1, int(round(base * bench_scale())))
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print an artifact so it survives pytest's capture (-s not needed)."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _emit

@@ -1,0 +1,129 @@
+"""Ablations of Ice's design choices (beyond the paper's tables).
+
+The paper motivates three design decisions that these ablations probe:
+
+* **Selective vs aggressive freezing** (§4.2: "RPF selectively freezes
+  the BG processes that cause page refault, instead of aggressively
+  freezing all BG applications") — aggressive freezing matches Ice on
+  frame rate but pays thaw latency on (almost) every launch.
+* **Memory-aware thawing intensity** (§4.3, Eq. 1) — a smaller δ thaws
+  more often, letting more refaults through.
+* **The whitelist** (§4.4) — with the adj threshold disabled, Ice would
+  freeze perceptible apps; the whitelist must keep them running.
+"""
+
+import pytest
+
+from repro.android.app import Application
+from repro.core.config import IceConfig
+from repro.core.ice import IcePolicy
+from repro.experiments.scenarios import BgCase, run_scenario
+from repro.policies.base import ManagementPolicy
+from repro.policies.registry import _REGISTRY
+
+from benchmarks.conftest import scaled_seconds
+
+
+class _FreezeAllPolicy(ManagementPolicy):
+    """Aggressive strawman: freeze everything that leaves the FG."""
+
+    name = "FreezeAll"
+    description = "freeze every cached app unconditionally"
+
+    def on_foreground_change(self, app: Application, previous) -> None:
+        if previous is not None and previous.alive:
+            for pid in previous.pids:
+                self.system.freezer.freeze(pid)
+
+    def before_launch(self, app: Application) -> float:
+        latency = 0.0
+        for pid in app.pids:
+            latency += self.system.freezer.thaw(pid)
+        return latency
+
+
+def _register(name, factory):
+    _REGISTRY[name] = factory
+
+
+def test_ablation_selective_vs_aggressive_freezing(benchmark, emit):
+    _register("FreezeAll", _FreezeAllPolicy)
+    from repro.experiments.launch_study import launch_study
+
+    def run():
+        return {
+            policy: launch_study(policy, rounds=3,
+                                 use_seconds=scaled_seconds(10.0) / 2,
+                                 seed=7)
+            for policy in ("Ice", "FreezeAll")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    ice, freeze_all = results["Ice"], results["FreezeAll"]
+    ice_thawed = sum(1 for s in ice.samples if s.thaw_ms > 0)
+    all_thawed = sum(1 for s in freeze_all.samples if s.thaw_ms > 0)
+    emit(
+        "ablation: selective (Ice) vs aggressive (FreezeAll) freezing\n"
+        f"  launches paying a thaw: Ice {ice_thawed} / "
+        f"{len(ice.samples)}, FreezeAll {all_thawed} / "
+        f"{len(freeze_all.samples)}"
+    )
+    # Ice's selectivity: far fewer launches pay the thaw penalty.
+    assert ice_thawed < all_thawed
+
+
+def test_ablation_mdt_delta(benchmark, emit):
+    """Smaller δ -> shorter freeze periods -> more BG refaults leak."""
+    _register("Ice-delta1", lambda: IcePolicy(IceConfig(delta=1.0)))
+
+    def run():
+        out = {}
+        for policy in ("Ice", "Ice-delta1"):
+            out[policy] = run_scenario(
+                "S-A", policy=policy, bg_case=BgCase.APPS,
+                seconds=scaled_seconds(60.0), seed=7,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    default = results["Ice"]
+    weak = results["Ice-delta1"]
+    emit(
+        "ablation: MDT weight coefficient δ\n"
+        f"  δ=8 (paper): {default.refault:5d} refaults, {default.fps:5.1f} fps\n"
+        f"  δ=1        : {weak.refault:5d} refaults, {weak.fps:5.1f} fps"
+    )
+    # Thawing 8x more often must admit more refaults.
+    assert weak.refault > default.refault
+
+
+def test_ablation_whitelist_protects_perceptible(benchmark, emit):
+    """A perceptible (music-playing) BG app must never be frozen."""
+    from repro.apps.catalog import catalog_apps
+    from repro.system import MobileSystem
+    from repro.devices.specs import huawei_p20
+    from repro.experiments.scenarios import stage_background
+
+    def run():
+        system = MobileSystem(spec=huawei_p20(), policy=IcePolicy(), seed=7)
+        system.install_apps(catalog_apps())
+        rng = system.rng.stream("scenario-bg-selection")
+        packages = stage_background(system, "WhatsApp", BgCase.APPS, 8, rng)
+        # Declare the first cached app perceptible (music playback).
+        music = system.get_app(packages[0])
+        music.perceptible = True
+        system.policy.mapping_table.set_adj_score(music.uid, music.adj)
+        record = system.launch("WhatsApp")
+        system.run_until_complete(record, timeout_s=240.0)
+        system.run(seconds=scaled_seconds(40.0))
+        frozen = [pid for pid in music.pids if system.freezer.is_frozen(pid)]
+        return music.package, frozen, system.policy.rpf.stats.whitelisted
+
+    package, frozen, whitelisted_hits = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        f"ablation: whitelist — perceptible app {package} frozen pids: "
+        f"{frozen} (whitelist vetoes observed: {whitelisted_hits})"
+    )
+    assert frozen == []  # never frozen, no matter how much it refaults

@@ -1,0 +1,51 @@
+"""Figure 10: refaulted/reclaimed pages per scheme per scenario (P20).
+
+Paper's shape: Ice cuts refaults by ~40-58% per scenario and reclaims
+to ~70% of the baseline; UCSG's reduction is much weaker than Ice's;
+Acclaim does not reduce refaults (it can even increase them).
+"""
+
+from repro.experiments.reclaim_study import (
+    figure10,
+    format_matrix,
+    reduction_summary,
+)
+
+from benchmarks.conftest import scaled_rounds, scaled_seconds
+
+
+def test_fig10_reclaim_refault(benchmark, emit):
+    cells = benchmark.pedantic(
+        lambda: figure10(
+            seconds=scaled_seconds(45.0),
+            rounds=scaled_rounds(1),
+            base_seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_matrix(cells, "Figure 10: refault / reclaim by scheme (P20)"))
+    emit(reduction_summary(cells))
+
+    by_key = {(c.scenario, c.policy): c for c in cells}
+    scenarios = sorted({c.scenario for c in cells})
+
+    ice_refault_ratio = []
+    ice_reclaim_ratio = []
+    acclaim_refault_ratio = []
+    for scenario in scenarios:
+        base = by_key[(scenario, "LRU+CFS")]
+        ice = by_key[(scenario, "Ice")]
+        acclaim = by_key[(scenario, "Acclaim")]
+        assert base.refault > 0
+        ice_refault_ratio.append(ice.refault / base.refault)
+        ice_reclaim_ratio.append(ice.reclaim / base.reclaim)
+        acclaim_refault_ratio.append(acclaim.refault / base.refault)
+
+    mean = lambda xs: sum(xs) / len(xs)
+    # Ice slashes refaults in every scenario.
+    assert all(ratio < 0.6 for ratio in ice_refault_ratio)
+    # ... and reduces total reclaim substantially (paper: to ~70%).
+    assert mean(ice_reclaim_ratio) < 0.85
+    # Acclaim does not meaningfully reduce refaults (FAE targets FG ones).
+    assert mean(acclaim_refault_ratio) > 0.75

@@ -1,0 +1,65 @@
+"""Figure 11 / §6.3: impact of Ice on application launching.
+
+Paper's shape: (a) the average launch time *improves* with Ice
+(−36.6%), cold launches improve clearly (−28.8%, less interference),
+hot launches are roughly a wash; the worst case (thaw a fully-reclaimed
+frozen app) is ~2x a normal hot launch but still far below a cold
+launch.  (b) More applications survive in the cache with Ice (+25%
+hot launches in rounds 2-10).
+"""
+
+from repro.experiments.launch_study import (
+    format_launch_study,
+    launch_study,
+    worst_case_hot_launch,
+)
+
+from benchmarks.conftest import scaled_rounds, scaled_seconds
+
+
+def test_fig11_launching(benchmark, emit):
+    rounds = max(3, scaled_rounds(4))
+    use_seconds = scaled_seconds(10.0)
+
+    def run():
+        return {
+            "LRU+CFS": launch_study(
+                "LRU+CFS", rounds=rounds, use_seconds=use_seconds, seed=7
+            ),
+            "Ice": launch_study(
+                "Ice", rounds=rounds, use_seconds=use_seconds, seed=7
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_launch_study(results))
+
+    base = results["LRU+CFS"]
+    ice = results["Ice"]
+
+    # (a) average launch latency does not regress with Ice; cold
+    # launches improve (less interference during the launch path).
+    assert ice.average_ms <= base.average_ms * 1.05
+    assert ice.cold_ms <= base.cold_ms * 1.05
+    # Under Ice, hot launches are far cheaper than cold ones.  (The
+    # thrashing baseline's hot launches refault their nucleus through a
+    # congested flash queue and can even exceed its cold latency — a
+    # model artifact documented in EXPERIMENTS.md, so no cold/hot-ratio
+    # assertion is made on the baseline.)
+    assert ice.cold_ms > ice.hot_ms * 2
+    assert ice.hot_ms < base.hot_ms
+    # (b) at least as many apps stay hot-launchable with Ice.
+    assert ice.hot_launch_count(1) >= base.hot_launch_count(1)
+
+
+def test_fig11_worst_case_hot_launch(benchmark, emit):
+    outcome = benchmark.pedantic(
+        lambda: worst_case_hot_launch(seed=7), rounds=1, iterations=1
+    )
+    emit(
+        f"worst-case hot launch: normal={outcome.normal_hot_ms:.0f} ms, "
+        f"worst={outcome.worst_hot_ms:.0f} ms "
+        f"({outcome.slowdown:.2f}x; paper: 1.98x)"
+    )
+    # Slower than a normal hot launch, but nowhere near a cold launch.
+    assert 1.2 < outcome.slowdown < 20.0

@@ -1,0 +1,39 @@
+"""Figure 1: FPS timelines under BG-null / BG-apps / cputester / memtester.
+
+Paper's shape, per scenario: BG-apps devastates frame rate (−50%-ish,
+sustained); BG-memtester causes a *transient* dip that recovers;
+BG-cputester barely matters (−6%); BG-null is the ceiling.
+"""
+
+import pytest
+
+from repro.experiments.frame_rate import figure1, format_figure1
+from repro.experiments.scenarios import BgCase
+
+from benchmarks.conftest import scaled_seconds
+
+
+@pytest.mark.parametrize("scenario", ["S-A", "S-B"])
+def test_fig1_fps_timeline(benchmark, emit, scenario):
+    results = benchmark.pedantic(
+        lambda: figure1(scenario, seconds=scaled_seconds(90.0), seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"[{scenario}]\n" + format_figure1(results))
+
+    null = results[BgCase.NULL]
+    apps = results[BgCase.APPS]
+    cpu = results[BgCase.CPUTESTER]
+    mem = results[BgCase.MEMTESTER]
+
+    # BG-apps is by far the most damaging case.
+    assert apps.fps < null.fps * 0.85
+    assert apps.fps < mem.fps
+    assert apps.fps < cpu.fps
+    # cputester: CPU contention is not the main reason (paper: -6.3%).
+    assert cpu.fps > null.fps * 0.90
+    # memtester: occupancy alone costs far less than refaulting BG apps.
+    assert mem.fps > apps.fps * 1.1
+    # And only BG-apps sustains heavy interaction alerts.
+    assert apps.ria > max(cpu.ria, mem.ria, null.ria)

@@ -1,0 +1,59 @@
+"""Figure 2: reclaim/refault totals and the FPS-vs-BG-refault deciles.
+
+Paper's shape: (a) BG-apps produces the most reclaims and by far the
+most refaults; memtester reclaims plenty but refaults almost nothing;
+BG-null does neither.  (b) frame rate collapses in the slices with the
+most BG refaults (−60% from the bottom to the top decile), while
+reclaim volume rises with BG refaults.
+"""
+
+from repro.experiments.refault_analysis import (
+    collect_slices,
+    figure2a,
+    figure2b,
+    format_figure2a,
+    format_figure2b,
+)
+from repro.experiments.scenarios import BgCase
+
+from benchmarks.conftest import scaled_seconds
+
+
+def test_fig2a_reclaim_refault_totals(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: figure2a("S-A", seconds=scaled_seconds(90.0), seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure2a(rows))
+    by_case = {row.case: row for row in rows}
+    null = by_case[BgCase.NULL]
+    mem = by_case[BgCase.MEMTESTER]
+    apps = by_case[BgCase.APPS]
+    assert null.reclaim < 100 and null.refault < 10
+    assert mem.reclaim > null.reclaim
+    # The defining contrast: memtester reclaims but does not refault;
+    # real BG apps refault massively.
+    assert apps.refault > 10 * max(1, mem.refault)
+    assert apps.reclaim > mem.reclaim
+
+
+def test_fig2b_fps_vs_bg_refault_deciles(benchmark, emit):
+    samples = benchmark.pedantic(
+        lambda: collect_slices(
+            scenarios=("S-A", "S-C"),
+            bg_counts=(4, 6, 7, 8),
+            slices_per_scenario=3,
+            slice_seconds=scaled_seconds(20.0),
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = figure2b(samples)
+    emit(format_figure2b(rows))
+    assert len(rows) >= 4
+    # Frame rate deteriorates from the quietest to the stormiest decile.
+    assert rows[-1].fps < rows[0].fps * 0.9
+    # More BG refaults come with more reclaim (invalid-reclaim loop).
+    assert rows[-1].reclaims > rows[0].reclaims

@@ -1,0 +1,47 @@
+"""Figure 3: the (compressed) user study.
+
+Paper's shape: across the eight users, a large fraction of evicted
+pages are demanded back (≈39% on average), and more than 60% of the
+refaults are caused by background processes.  Per-user cumulative
+curves show the refault ratio stabilising at a high level.
+"""
+
+from repro.experiments.user_study import (
+    STUDY_USERS,
+    format_figure3a,
+    format_figure3b,
+    user_study,
+)
+
+from benchmarks.conftest import bench_scale
+
+
+def test_fig3_user_study(benchmark, emit):
+    days = max(2, int(3 * bench_scale()))
+    results = benchmark.pedantic(
+        lambda: user_study(users=STUDY_USERS, days=days, day_minutes=4.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure3a(results))
+    emit(format_figure3b(results[0]))
+
+    active = [r for r in results if r.total_evicted > 500]
+    assert len(active) >= 6  # nearly every user reaches the reclaim regime
+
+    ratios = [r.refault_ratio for r in active]
+    mean_ratio = sum(ratios) / len(ratios)
+    # Paper: ~39% of evicted pages are refaulted on average.
+    assert 0.15 <= mean_ratio <= 0.75
+
+    shares = [r.bg_share for r in active if r.total_refaulted > 100]
+    mean_share = sum(shares) / len(shares)
+    # Paper: >60% of refaults come from BG processes.
+    assert mean_share > 0.55
+
+    # Figure 3(b): cumulative counters only grow.
+    timeline = results[0].timeline
+    assert all(
+        later.evicted >= earlier.evicted
+        for earlier, later in zip(timeline, timeline[1:])
+    )

@@ -1,0 +1,48 @@
+"""Figure 8: FPS and RIA for the four schemes on both devices.
+
+Paper's shape: Ice delivers the best frame rate on every scenario of
+both devices; UCSG gives a modest improvement over LRU+CFS; Acclaim is
+mixed (can regress, since FAE pushes BG refaults up); Ice's advantage
+is largest where memory is most exhausted.
+"""
+
+from repro.experiments.frame_rate import figure8, format_figure8
+
+from benchmarks.conftest import scaled_rounds, scaled_seconds
+
+
+def test_fig8_frame_rate(benchmark, emit):
+    cells = benchmark.pedantic(
+        lambda: figure8(
+            seconds=scaled_seconds(45.0),
+            rounds=scaled_rounds(1),
+            base_seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure8(cells))
+
+    by_key = {}
+    for cell in cells:
+        by_key[(cell.device, cell.scenario, cell.policy)] = cell
+
+    devices = {cell.device for cell in cells}
+    scenarios = {cell.scenario for cell in cells}
+    ice_wins = 0
+    total = 0
+    fps_ice_sum = fps_base_sum = 0.0
+    for device in devices:
+        for scenario in scenarios:
+            base = by_key[(device, scenario, "LRU+CFS")]
+            ice = by_key[(device, scenario, "Ice")]
+            total += 1
+            fps_ice_sum += ice.fps
+            fps_base_sum += base.fps
+            if ice.fps >= base.fps:
+                ice_wins += 1
+            # Ice also reduces interaction alerts almost everywhere.
+            assert ice.ria <= base.ria + 0.10, (device, scenario)
+    # Ice wins on (almost) every cell and clearly on average.
+    assert ice_wins >= total - 1
+    assert fps_ice_sum > fps_base_sum * 1.15

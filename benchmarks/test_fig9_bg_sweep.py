@@ -1,0 +1,38 @@
+"""Figure 9: frame rate vs the number of cached BG applications.
+
+Paper's shape: with no or few BG apps ("F", "2B+F") Ice and the
+baseline coincide; the baseline's FPS degrades as the population grows
+while Ice curbs the interference, opening a large gap at the
+memory-exhausting population (8B+F on the P20: 1.57x FPS, RIA −30%+).
+"""
+
+from repro.experiments.frame_rate import figure9, format_figure9
+
+from benchmarks.conftest import scaled_seconds
+
+
+def test_fig9_bg_sweep(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: figure9(seconds=scaled_seconds(40.0), base_seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure9(points))
+
+    by_key = {(p.bg_count, p.policy): p for p in points}
+    counts = sorted({p.bg_count for p in points})
+    full = counts[-1]
+
+    # With an empty background, the schemes coincide.
+    assert abs(
+        by_key[(0, "Ice")].fps - by_key[(0, "LRU+CFS")].fps
+    ) < by_key[(0, "LRU+CFS")].fps * 0.05
+
+    # Baseline FPS degrades with population.
+    assert by_key[(full, "LRU+CFS")].fps < by_key[(0, "LRU+CFS")].fps * 0.9
+
+    # At the full population Ice opens a clear gap in FPS and RIA.
+    base_full = by_key[(full, "LRU+CFS")]
+    ice_full = by_key[(full, "Ice")]
+    assert ice_full.fps > base_full.fps * 1.15
+    assert ice_full.ria < base_full.ria

@@ -1,0 +1,32 @@
+"""§6.2.2: reduction of I/O and CPU pressure.
+
+Paper's shape: over a long mixed period covering all four scenarios,
+Ice reduces total I/O volume (paper: −9.2% — senseless
+read-discard-read cycles disappear) and lowers CPU utilization
+(paper: 55.8% → 47.3% — frozen BG tasks plus fewer compression /
+decompression cycles).
+"""
+
+from repro.experiments.io_cpu import compare_pressure, format_pressure
+
+from benchmarks.conftest import scaled_rounds, scaled_seconds
+
+
+def test_sec622_io_cpu_pressure(benchmark, emit):
+    outcome = benchmark.pedantic(
+        lambda: compare_pressure(
+            seconds_per_scenario=scaled_seconds(40.0),
+            rounds=scaled_rounds(1),
+            base_seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_pressure(outcome))
+
+    # Ice must not *add* I/O, and should reduce it.
+    assert outcome["io_reduction"] > 0.0
+    # CPU utilization drops with Ice (paper: ~8.5 points).
+    assert outcome["cpu_ice"] < outcome["cpu_baseline"]
+    # ZRAM compression/decompression churn also drops.
+    assert outcome["ice"].zram_ops < outcome["baseline"].zram_ops

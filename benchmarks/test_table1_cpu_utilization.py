@@ -1,0 +1,34 @@
+"""Table 1: CPU utilization with N apps in the BG.
+
+Paper's shape: ~43% average (52% peak) with no apps, rising to ~55%
+average (69% peak) with eight cached apps — BG apps are not CPU
+intensive in general.
+"""
+
+from repro.experiments.cpu_utilization import format_table1, table1
+
+from benchmarks.conftest import scaled_rounds, scaled_seconds
+
+
+def test_table1_cpu_utilization(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: table1(
+            counts=(0, 2, 4, 6, 8),
+            seconds=scaled_seconds(20.0),
+            rounds=scaled_rounds(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_table1(rows))
+
+    by_count = {row.bg_apps: row for row in rows}
+    # Baseline framework load sits near the paper's 43%.
+    assert 0.30 <= by_count[0].average <= 0.55
+    # Utilization rises monotonically-ish with population and stays
+    # far from saturation: CPU is not the bottleneck.
+    assert by_count[8].average > by_count[0].average
+    assert by_count[8].average < 0.80
+    # Peak stays above average.
+    for row in rows:
+        assert row.peak >= row.average

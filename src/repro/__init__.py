@@ -1,0 +1,63 @@
+"""Reproduction of *ICE: Collaborating Memory and Process Management for
+User Experience on Resource-limited Mobile Devices* (EuroSys 2023).
+
+The package provides:
+
+* a simulated resource-limited mobile device
+  (:class:`~repro.system.MobileSystem`) — Linux-style memory management
+  with LRU reclaim, watermarks, kswapd, ZRAM and flash swap paths,
+  refault tracking via shadow entries, a CFS multicore scheduler, and an
+  Android-style framework (app lifecycle, LMK, frame pipeline);
+* the paper's contribution (:class:`~repro.core.ice.IcePolicy`:
+  refault-driven process freezing + memory-aware dynamic thawing) and
+  all evaluated baselines (:mod:`repro.policies`);
+* experiment harnesses reproducing every table and figure
+  (:mod:`repro.experiments`, driven by ``benchmarks/``).
+
+Quickstart::
+
+    from repro import MobileSystem, IcePolicy, huawei_p20, catalog_apps
+
+    system = MobileSystem(spec=huawei_p20(), policy=IcePolicy(), seed=1)
+    system.install_apps(catalog_apps())
+"""
+
+from repro.system import MobileSystem
+from repro.core.ice import IcePolicy
+from repro.core.config import IceConfig
+from repro.policies import (
+    AcclaimPolicy,
+    LruCfsPolicy,
+    ManagementPolicy,
+    PowerFreezerPolicy,
+    UcsgPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.devices import DeviceSpec, get_device, huawei_p20, huawei_p40, pixel3, pixel4
+from repro.apps import catalog_apps, extended_catalog, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MobileSystem",
+    "IcePolicy",
+    "IceConfig",
+    "ManagementPolicy",
+    "LruCfsPolicy",
+    "UcsgPolicy",
+    "AcclaimPolicy",
+    "PowerFreezerPolicy",
+    "available_policies",
+    "make_policy",
+    "DeviceSpec",
+    "get_device",
+    "pixel3",
+    "pixel4",
+    "huawei_p20",
+    "huawei_p40",
+    "catalog_apps",
+    "extended_catalog",
+    "get_profile",
+    "__version__",
+]

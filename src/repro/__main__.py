@@ -1,0 +1,117 @@
+"""Command-line interface: quick experiments without writing code.
+
+Examples::
+
+    python -m repro scenario --scenario S-A --policy Ice --bg 8
+    python -m repro compare --scenario S-D --seconds 45
+    python -m repro table1
+    python -m repro overhead
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.devices.specs import get_device
+from repro.experiments.cpu_utilization import format_table1, table1
+from repro.experiments.overhead import format_overhead
+from repro.experiments.scenarios import BgCase, SCENARIOS, run_scenario
+from repro.policies.registry import available_policies
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="S-A",
+                        choices=sorted(SCENARIOS),
+                        help="paper scenario (S-A video call ... S-D game)")
+    parser.add_argument("--device", default="P20",
+                        choices=["Pixel3", "P20", "P40", "Pixel4"])
+    parser.add_argument("--bg", type=int, default=None,
+                        help="number of cached BG apps (default: paper's)")
+    parser.add_argument("--bg-case", default=BgCase.APPS,
+                        choices=list(BgCase.ALL))
+    parser.add_argument("--seconds", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _print_result(result) -> None:
+    print(
+        f"{result.policy:>12} | {result.fps:5.1f} fps | RIA {result.ria:5.1%} | "
+        f"refaults {result.refault:6d} (BG {result.bg_refault_share:4.0%}) | "
+        f"reclaims {result.reclaim:6d} | LMK kills {result.lmk_kills} | "
+        f"frozen {result.frozen_apps}"
+    )
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    result = run_scenario(
+        args.scenario,
+        policy=args.policy,
+        spec=get_device(args.device),
+        bg_case=args.bg_case,
+        bg_count=args.bg,
+        seconds=args.seconds,
+        seed=args.seed,
+    )
+    _print_result(result)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    for policy in args.policies.split(","):
+        result = run_scenario(
+            args.scenario,
+            policy=policy.strip(),
+            spec=get_device(args.device),
+            bg_case=args.bg_case,
+            bg_count=args.bg,
+            seconds=args.seconds,
+            seed=args.seed,
+        )
+        _print_result(result)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1(seconds=args.seconds, rounds=args.rounds)
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_overhead(_args: argparse.Namespace) -> int:
+    print(format_overhead())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ICE (EuroSys'23) reproduction: quick experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scenario = sub.add_parser("scenario", help="run one scenario/policy")
+    _add_scenario_args(p_scenario)
+    p_scenario.add_argument("--policy", default="LRU+CFS",
+                            choices=available_policies())
+    p_scenario.set_defaults(func=cmd_scenario)
+
+    p_compare = sub.add_parser("compare", help="run several policies")
+    _add_scenario_args(p_compare)
+    p_compare.add_argument("--policies", default="LRU+CFS,UCSG,Acclaim,Ice")
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_table1 = sub.add_parser("table1", help="regenerate Table 1")
+    p_table1.add_argument("--seconds", type=float, default=20.0)
+    p_table1.add_argument("--rounds", type=int, default=2)
+    p_table1.set_defaults(func=cmd_table1)
+
+    p_overhead = sub.add_parser("overhead", help="§6.4 overhead numbers")
+    p_overhead.set_defaults(func=cmd_overhead)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

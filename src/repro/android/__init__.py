@@ -1,0 +1,34 @@
+"""Android framework substrate.
+
+Models the framework slice that ICE interacts with: application
+lifecycle and oom_adj scores, the ActivityManager's launch/switch paths
+(hot vs cold), the low-memory killer, ART's background GC, framework
+service load, and the Choreographer-style frame pipeline whose FPS and
+interaction-alert ratio are the paper's user-experience metrics.
+"""
+
+from repro.android.app import Application, AppState, Process
+from repro.android.oom_adj import (
+    ADJ_FOREGROUND,
+    ADJ_PERCEPTIBLE,
+    CACHED_APP_MIN_ADJ,
+    cached_adj,
+)
+from repro.android.lmk import LowMemoryKiller
+from repro.android.render import FrameEngine, FrameStats
+from repro.android.activity_manager import ActivityManager, LaunchRecord
+
+__all__ = [
+    "Application",
+    "AppState",
+    "Process",
+    "ADJ_FOREGROUND",
+    "ADJ_PERCEPTIBLE",
+    "CACHED_APP_MIN_ADJ",
+    "cached_adj",
+    "LowMemoryKiller",
+    "FrameEngine",
+    "FrameStats",
+    "ActivityManager",
+    "LaunchRecord",
+]

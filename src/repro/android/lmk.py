@@ -1,0 +1,135 @@
+"""Low-memory killer (LMK [38]).
+
+When reclaim cannot keep up — an allocation fails even after direct
+reclaim, or free memory stays critically low with ZRAM exhausted — the
+LMK kills the cached application with the highest oom_score_adj (the
+least recently used, never the foreground or perceptible ones).  Killed
+applications lose all state: their next launch is cold, which is what
+the paper's Figure 11(b) hot-launch-count experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.android.app import Application, AppState
+
+
+@dataclass(frozen=True)
+class LmkKill:
+    time_ms: float
+    package: str
+    adj: int
+    freed_pages: int
+    reason: str
+
+
+class LowMemoryKiller:
+    """Kills cached apps under unrecoverable memory pressure.
+
+    Two triggers, as on modern Android:
+
+    * **OOM path** — an allocation fails even after direct reclaim
+      (``kill_one`` called from the fault/allocation paths).
+    * **PSI path** — lmkd-style pressure monitoring: when memory-stall
+      time (direct-reclaim + allocator contention) exceeds
+      ``PSI_THRESHOLD_MS_PER_S`` for ``PSI_CONSECUTIVE`` seconds, the
+      device is thrashing terminally and a cached app is killed to
+      relieve it.
+    """
+
+    PSI_THRESHOLD_MS_PER_S = 600.0
+    PSI_CONSECUTIVE = 4
+    # Terminal I/O congestion: a block queue this far behind means every
+    # file fault in the system waits a substantial fraction of a second.
+    IO_QUEUE_THRESHOLD_MS = 250.0
+    # Launches stall the allocator heavily by design; lmkd applies kill
+    # cooldowns around app starts rather than reacting to launch storms.
+    LAUNCH_COOLDOWN_MS = 8000.0
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.kills: List[LmkKill] = []
+        self._last_stall_ms = 0.0
+        self._pressured_seconds = 0
+        self._monitor_started = False
+
+    def start_monitor(self) -> None:
+        """Arm the once-per-second PSI poll (idempotent)."""
+        if self._monitor_started:
+            return
+        self._monitor_started = True
+        self.system.sim.every(1000.0, self._psi_tick)
+
+    def _in_launch_cooldown(self) -> bool:
+        records = self.system.activity_manager.launch_records
+        if not records:
+            return False
+        last = records[-1]
+        if not last.completed:
+            return True
+        return self.system.sim.now - last.end_ms < self.LAUNCH_COOLDOWN_MS
+
+    def _psi_tick(self) -> None:
+        vm = self.system.vmstat
+        # Allocator contention tracks ordinary pressure; *direct reclaim*
+        # time is the signature of reclaim falling behind terminally.
+        total_stall = vm.direct_reclaim_stall_ms
+        delta = total_stall - self._last_stall_ms
+        self._last_stall_ms = total_stall
+        if self._in_launch_cooldown():
+            self._pressured_seconds = 0
+            return
+        io_backlog = self.system.flash.queue_delay(self.system.sim.now)
+        if delta >= self.PSI_THRESHOLD_MS_PER_S or io_backlog >= self.IO_QUEUE_THRESHOLD_MS:
+            self._pressured_seconds += 1
+        else:
+            self._pressured_seconds = 0
+        if self._pressured_seconds >= self.PSI_CONSECUTIVE:
+            self._pressured_seconds = 0
+            self.kill_one("psi-pressure")
+
+    # ------------------------------------------------------------------
+    # Candidates within this adj distance of the worst one form the
+    # kill bucket; lmkd picks the *largest* app in the bucket (freeing
+    # the most memory per kill), which is why small apps survive long
+    # cached lifetimes while big ones are recycled.
+    ADJ_BUCKET_WIDTH = 60
+
+    def pick_victim(self) -> Optional[Application]:
+        """Largest app in the highest-adj bucket, or None."""
+        candidates = [
+            app
+            for app in self.system.apps.values()
+            if app.alive and app.state is AppState.CACHED and not app.perceptible
+        ]
+        if not candidates:
+            return None
+        worst_adj = max(app.adj for app in candidates)
+        bucket = [
+            app for app in candidates
+            if app.adj >= worst_adj - self.ADJ_BUCKET_WIDTH
+        ]
+        return max(bucket, key=lambda app: (app.resident_pages(), app.adj))
+
+    def kill_one(self, reason: str) -> Optional[Application]:
+        """Kill the chosen victim; returns it (or None)."""
+        victim = self.pick_victim()
+        if victim is None:
+            return None
+        freed = self.system.kill_app(victim)
+        self.kills.append(
+            LmkKill(
+                time_ms=self.system.sim.now,
+                package=victim.package,
+                adj=victim.adj,
+                freed_pages=freed,
+                reason=reason,
+            )
+        )
+        return victim
+
+    @property
+    def kill_count(self) -> int:
+        return len(self.kills)

@@ -1,0 +1,253 @@
+"""Frame pipeline: vsync, FPS, and interaction alerts (§2.2.2, §6.1).
+
+A Choreographer-style loop issues a frame on each 16.67 ms vsync (gated
+by the content rate — a 45 fps video call produces at most 45 frames a
+second no matter how fast the device is).  Each frame costs CPU, touches
+a sample of the foreground app's working set (possible refaults), and
+allocates a few transient pages (allocation churn — under the min
+watermark this direct-reclaims, which is the priority-inversion path
+that lets background refault storms block rendering).
+
+Metrics match the paper's: **FPS** per second of wall time, and **RIA**
+(ratio of interaction alerts) — the fraction of frames that failed to
+render within 16.6 ms, Systrace's interaction-alert threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.android.app import Application, AppState
+from repro.kernel.page import HeapKind, Page, PageKind
+from repro.sched.task import Task, WorkItem
+
+VSYNC_MS = 1000.0 / 60.0
+ALERT_THRESHOLD_MS = 16.6
+
+
+@dataclass
+class FrameStats:
+    """Frame-rate accounting for one foreground session."""
+
+    completed: int = 0
+    dropped: int = 0
+    alerts: int = 0
+    latencies: List[float] = field(default_factory=list)
+    fps_timeline: List[int] = field(default_factory=list)  # frames per second
+    _bucket_count: int = 0
+    _bucket_start: float = 0.0
+
+    def record_frame(self, now: float, latency_ms: float) -> None:
+        self.completed += 1
+        self.latencies.append(latency_ms)
+        if latency_ms > ALERT_THRESHOLD_MS:
+            self.alerts += 1
+        self._advance(now)
+        self._bucket_count += 1
+
+    def record_drop(self, now: float) -> None:
+        self.dropped += 1
+        self.alerts += 1
+        self._advance(now)
+
+    def _advance(self, now: float) -> None:
+        while now - self._bucket_start >= 1000.0:
+            self.fps_timeline.append(self._bucket_count)
+            self._bucket_count = 0
+            self._bucket_start += 1000.0
+
+    # ------------------------------------------------------------------
+    @property
+    def average_fps(self) -> float:
+        if not self.fps_timeline:
+            return 0.0
+        return sum(self.fps_timeline) / len(self.fps_timeline)
+
+    @property
+    def ria(self) -> float:
+        """Ratio of interaction alerts (frames missing 16.6 ms)."""
+        total = self.completed + self.dropped
+        if total == 0:
+            return 0.0
+        return self.alerts / total
+
+    @property
+    def average_latency_ms(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+
+class FrameEngine:
+    """Drives the foreground application's rendering loop."""
+
+    # The render thread gets a modest static boost even in the baseline:
+    # Android places the top app in a privileged cpuset, which is why the
+    # paper finds CPU contention is *not* the main FPS killer.
+    RENDER_NICE = -4
+
+    def __init__(self, system):
+        self.system = system
+        self.app: Optional[Application] = None
+        self.task: Optional[Task] = None
+        self.stats: Optional[FrameStats] = None
+        self._vsync_handle = None
+        self._burst_handle = None
+        self._sampler = None
+        self._content_credit: float = 0.0
+        self._transient: Deque[Page] = deque()
+        self._transient_cap: int = 0
+        self._rng = None
+        self._working_set: list = []
+
+    # ------------------------------------------------------------------
+    # Share of the app's virtual pages that the foreground session ever
+    # touches: the FG working set is bounded — an app does not walk its
+    # whole address space however long it runs.
+    WORKING_SET_FRAC = 0.62
+
+    def start(self, app: Application, sampler) -> FrameStats:
+        """Begin rendering for a newly-foregrounded app."""
+        self.stop()
+        self.app = app
+        self._sampler = sampler
+        self._rng = self.system.rng.stream(f"render:{app.package}:{app.launch_count}")
+        self._working_set = self._build_working_set(sampler)
+        profile = app.profile
+        main = app.main_process
+        if main is None:
+            raise ValueError(f"{app.package} has no main process to render from")
+        self.task = Task("RenderThread", process=main, nice=self.RENDER_NICE)
+        self.system.sched.add_task(self.task)
+        self.stats = FrameStats(_bucket_start=self.system.sim.now)
+        self._content_credit = 0.0
+        self._transient_cap = max(
+            profile.frame_alloc_pages * 90, profile.fg_alloc_burst_pages + 240
+        )
+        self._vsync_handle = self.system.sim.every(VSYNC_MS, self._on_vsync)
+        if profile.fg_alloc_burst_pages > 0:
+            self._burst_handle = self.system.sim.every(
+                profile.fg_alloc_burst_period_s * 1000.0, self._alloc_burst
+            )
+        return self.stats
+
+    def stop(self) -> None:
+        """Tear down the current session (app leaves the foreground)."""
+        if self._vsync_handle is not None:
+            self._vsync_handle.stop()
+            self._vsync_handle = None
+        if self._burst_handle is not None:
+            self._burst_handle.stop()
+            self._burst_handle = None
+        if self.task is not None:
+            self.system.sched.remove_task(self.task)
+            self.task = None
+        while self._transient:
+            self.system.mm.discard_page(self._transient.popleft())
+        self.app = None
+        self._sampler = None
+        self._working_set = []
+
+    # ------------------------------------------------------------------
+    def _on_vsync(self) -> None:
+        app = self.app
+        if app is None or app.state is not AppState.FOREGROUND:
+            return
+        profile = app.profile
+        self._content_credit += min(profile.content_fps, 60.0) / 60.0
+        if self._content_credit < 1.0:
+            return  # no content this vsync (source-limited)
+        self._content_credit -= 1.0
+        stats = self.stats
+        now = self.system.sim.now
+        if self.task.queue:
+            # Previous frame still in flight: this frame is dropped.
+            stats.record_drop(now)
+            return
+        cpu = self._rng.gauss(profile.frame_cpu_ms, profile.frame_cpu_jitter)
+        cpu = max(1.0, cpu) / self.system.spec.cpu_speed
+        vsync_time = now
+        self.task.submit(
+            WorkItem(
+                cpu_ms=cpu,
+                touch=self._frame_touch,
+                on_complete=lambda: stats.record_frame(
+                    self.system.sim.now, self.system.sim.now - vsync_time
+                ),
+                label="frame",
+            )
+        )
+
+    def _build_working_set(self, sampler) -> list:
+        """Hot nucleus plus a bounded random cold subset."""
+        cold = [page for page in sampler.all_pages if not page.hot]
+        target = int(len(sampler.all_pages) * self.WORKING_SET_FRAC)
+        extra = max(0, target - len(sampler.hot_pages))
+        if extra < len(cold):
+            self._rng.shuffle(cold)
+            cold = cold[:extra]
+        return list(sampler.hot_pages) + cold
+
+    def _frame_touch(self) -> float:
+        """Touch working-set pages and churn transient allocations.
+
+        Returns the blocking time (fault service + direct-reclaim
+        stalls) charged to the render thread.
+        """
+        app = self.app
+        profile = app.profile
+        main = app.main_process
+        hot = self._sampler.hot_pages
+        ws = self._working_set
+        pages = []
+        for _ in range(profile.frame_touch_pages):
+            if hot and self._rng.random() < 0.75:
+                pages.append(self._rng.choice(hot))
+            elif ws:
+                pages.append(self._rng.choice(ws))
+        blocked = self.system.touch_pages(main, pages)
+        blocked += self._churn_transient(profile.frame_alloc_pages)
+        return blocked
+
+    def _churn_transient(self, count: int) -> float:
+        """Allocate ``count`` fresh pages, freeing the oldest beyond cap."""
+        if count <= 0:
+            return 0.0
+        main = self.app.main_process
+        # Old buffers are freed before their replacements are allocated
+        # (codecs and render caches recycle), so a warmed-up pool is
+        # memory-neutral; only pool *growth* creates net demand.
+        while len(self._transient) > self._transient_cap - count:
+            self.system.mm.discard_page(self._transient.popleft())
+        fresh = [
+            Page(kind=PageKind.ANON, owner=main, heap=HeapKind.NATIVE)
+            for _ in range(count)
+        ]
+        stall = self.system.allocate_pages(main, fresh)
+        # Buffers are written the moment they are allocated — they are
+        # live render state, not cold data, so the LRU must see them as
+        # referenced (otherwise reclaim wastes compression cycles
+        # evicting pages the app frees moments later).
+        for page in fresh:
+            page.referenced = True
+        self._transient.extend(fresh)
+        return stall
+
+    def _alloc_burst(self) -> None:
+        """Periodic large allocation (PUBG round start, video switch)."""
+        app = self.app
+        if app is None or app.state is not AppState.FOREGROUND:
+            return
+        profile = app.profile
+        pages = profile.fg_alloc_burst_pages
+        if pages <= 0 or self.task is None:
+            return
+        self.task.submit(
+            WorkItem(
+                cpu_ms=max(2.0, pages * 0.003) / self.system.spec.cpu_speed,
+                touch=lambda: self._churn_transient(pages),
+                label="alloc-burst",
+            )
+        )

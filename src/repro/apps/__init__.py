@@ -1,0 +1,29 @@
+"""Application workload substrate.
+
+Real applications (Table 3's 20 popular apps) are replaced by synthetic
+profiles that generate the same classes of memory/CPU behaviour the
+paper measures: foreground frame rendering, background GC cycles,
+background service wakeups (location, sync, push), "not system
+friendly" always-on apps (§3.2), and the `memtester`/`cputester`
+calibration tools of §2.2.3.
+"""
+
+from repro.apps.profiles import AppCategory, AppProfile
+from repro.apps.catalog import (
+    APP_CATALOG,
+    catalog_apps,
+    extended_catalog,
+    get_profile,
+)
+from repro.apps.synthetic import cputester_profile, memtester_profile
+
+__all__ = [
+    "AppCategory",
+    "AppProfile",
+    "APP_CATALOG",
+    "catalog_apps",
+    "extended_catalog",
+    "get_profile",
+    "memtester_profile",
+    "cputester_profile",
+]

@@ -1,0 +1,274 @@
+"""The application catalog (paper Table 3).
+
+Twenty popular applications across five categories, with per-app
+behaviour profiles.  Footprints and background behaviours are synthetic
+but category-faithful: social apps carry large java heaps and frequent
+sync/push wakeups; games carry large native heaps but are mostly quiet
+when cached; multimedia apps mix large native buffers with file-backed
+caches; and a few apps exhibit the pathologies §3.2 documents (location
+listeners, the Facebook-style stay-awake bug).
+
+Sizing rationale: on the paper's devices six (Pixel3) to eight (P20)
+cached applications fully exhaust memory ("more than 90% of the memory
+space is unavailable", §2.2.3), so the catalog's average footprint is
+chosen to overflow the scaled device capacity by ~20-30% at those
+populations — the regime where the reclaim/refault loop of §2.2.3
+operates.
+
+``extended_catalog`` doubles the population to 40 apps (category
+variants) for the Figure 4 per-process-reclaim study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.apps.profiles import AppCategory, AppProfile
+
+_SOCIAL = dict(
+    category=AppCategory.SOCIAL,
+    hot_frac=0.20,
+    bg_active=True,
+    bg_burst_period_s=1.4,
+    bg_burst_cpu_ms=7.0,
+    bg_touch_pages=640,
+    gc_idle_period_s=26.0,
+    gc_touch_frac=0.6,
+    service_period_s=4.0,
+    service_touch_pages=200,
+    frame_cpu_ms=7.0,
+)
+
+_MULTIMEDIA = dict(
+    category=AppCategory.MULTIMEDIA,
+    hot_frac=0.18,
+    bg_active=True,
+    bg_burst_period_s=2.2,
+    bg_burst_cpu_ms=9.0,
+    bg_touch_pages=720,
+    gc_idle_period_s=35.0,
+    gc_touch_frac=0.5,
+    service_period_s=7.0,
+    service_touch_pages=170,
+)
+
+_GAME = dict(
+    category=AppCategory.GAME,
+    hot_frac=0.25,
+    bg_active=False,  # games are mostly quiet when cached
+    bg_burst_period_s=9.0,
+    bg_burst_cpu_ms=5.0,
+    bg_touch_pages=280,
+    gc_idle_period_s=60.0,
+    gc_touch_frac=0.35,
+    service_period_s=None,
+)
+
+_ECOMMERCE = dict(
+    category=AppCategory.ECOMMERCE,
+    hot_frac=0.20,
+    bg_active=True,
+    bg_burst_period_s=2.5,
+    bg_burst_cpu_ms=6.0,
+    bg_touch_pages=500,
+    gc_idle_period_s=32.0,
+    gc_touch_frac=0.55,
+    service_period_s=8.0,
+    service_touch_pages=150,
+)
+
+_UTILITY = dict(
+    category=AppCategory.UTILITY,
+    hot_frac=0.22,
+    bg_active=True,
+    bg_burst_period_s=2.1,
+    bg_burst_cpu_ms=6.0,
+    bg_touch_pages=540,
+    gc_idle_period_s=38.0,
+    gc_touch_frac=0.5,
+    service_period_s=6.5,
+    service_touch_pages=170,
+)
+
+
+def _app(package: str, base: dict, **overrides) -> AppProfile:
+    params = dict(base)
+    params.update(overrides)
+    return AppProfile(package=package, **params)
+
+
+def _build_catalog() -> Dict[str, AppProfile]:
+    apps = [
+        # --- Social -----------------------------------------------------
+        _app(
+            "Facebook", _SOCIAL,
+            java_heap_mb=210, native_heap_mb=200, file_mb=210,
+            buggy_stay_awake=True,  # the §3.2 buggy stay-awake release
+            service_period_s=4.0,  # location + feed sync
+            frame_cpu_ms=7.5, frame_touch_pages=34, frame_alloc_pages=7,
+            content_fps=56.0,
+            fg_alloc_burst_pages=200, fg_alloc_burst_period_s=6.0,
+        ),
+        _app(
+            "Skype", _SOCIAL,
+            java_heap_mb=150, native_heap_mb=170, file_mb=160,
+            bg_burst_period_s=2.5,
+        ),
+        _app(
+            "Twitter", _SOCIAL,
+            java_heap_mb=190, native_heap_mb=160, file_mb=180,
+            service_period_s=5.0,
+        ),
+        _app(
+            "WeChat", _SOCIAL,
+            java_heap_mb=250, native_heap_mb=210, file_mb=200,
+            bg_burst_period_s=1.6,  # chat apps poll aggressively
+        ),
+        _app(
+            "WhatsApp", _SOCIAL,
+            java_heap_mb=160, native_heap_mb=190, file_mb=150,
+            # S-A video call: content arrives at the remote camera rate.
+            frame_cpu_ms=7.5, frame_cpu_jitter=1.8,
+            frame_touch_pages=30, frame_alloc_pages=6,
+            content_fps=46.0,
+            # Video-call buffer renegotiation (resolution/codec changes)
+            # periodically allocates fresh buffers.
+            fg_alloc_burst_pages=280, fg_alloc_burst_period_s=8.0,
+        ),
+        # --- Multi-Media --------------------------------------------------
+        _app(
+            "Youtube", _MULTIMEDIA,
+            java_heap_mb=170, native_heap_mb=280, file_mb=220,
+        ),
+        _app(
+            "Netflix", _MULTIMEDIA,
+            java_heap_mb=150, native_heap_mb=290, file_mb=210,
+            bg_active=False,
+        ),
+        _app(
+            "TikTok", _MULTIMEDIA,
+            java_heap_mb=210, native_heap_mb=330, file_mb=260,
+            # S-B short-video switching: a new video's buffers are
+            # allocated at each swipe.
+            frame_cpu_ms=8.0, frame_cpu_jitter=2.0,
+            frame_touch_pages=36, frame_alloc_pages=7,
+            content_fps=58.0,
+            fg_alloc_burst_pages=360, fg_alloc_burst_period_s=7.0,
+        ),
+        # --- Game ---------------------------------------------------------
+        _app(
+            "AngryBird", _GAME,
+            java_heap_mb=140, native_heap_mb=330, file_mb=200,
+        ),
+        _app(
+            "ArenaOfValor", _GAME,
+            java_heap_mb=170, native_heap_mb=520, file_mb=290,
+        ),
+        _app(
+            "PUBGMobile", _GAME,
+            java_heap_mb=190, native_heap_mb=650, file_mb=320,
+            # S-D: memory-intensive real-time game; a new round battle
+            # demands 100 MB+ of fresh allocations (§6.2.1).
+            # Mid-range devices cap PUBG at 40 fps.
+            frame_cpu_ms=10.5, frame_cpu_jitter=2.6,
+            frame_touch_pages=42, frame_alloc_pages=5,
+            content_fps=40.0,
+            fg_alloc_burst_pages=1600, fg_alloc_burst_period_s=75.0,
+            hot_frac=0.3,
+        ),
+        # --- E-Commerce -----------------------------------------------------
+        _app(
+            "Amazon", _ECOMMERCE,
+            java_heap_mb=180, native_heap_mb=150, file_mb=200,
+        ),
+        _app(
+            "PayPal", _ECOMMERCE,
+            java_heap_mb=110, native_heap_mb=110, file_mb=140,
+            bg_active=False,
+        ),
+        _app(
+            "AliPay", _ECOMMERCE,
+            java_heap_mb=200, native_heap_mb=160, file_mb=180,
+        ),
+        _app(
+            "eBay", _ECOMMERCE,
+            java_heap_mb=150, native_heap_mb=130, file_mb=160,
+        ),
+        _app(
+            "Yelp", _ECOMMERCE,
+            java_heap_mb=140, native_heap_mb=110, file_mb=150,
+            service_period_s=7.0,  # location listener
+        ),
+        # --- Utility ---------------------------------------------------------
+        _app(
+            "Chrome", _UTILITY,
+            java_heap_mb=190, native_heap_mb=280, file_mb=240,
+            bg_burst_period_s=5.0,
+        ),
+        _app(
+            "Camera", _UTILITY,
+            java_heap_mb=100, native_heap_mb=230, file_mb=140,
+            bg_active=False, service_period_s=None,
+        ),
+        _app(
+            "Uber", _UTILITY,
+            java_heap_mb=150, native_heap_mb=140, file_mb=160,
+            service_period_s=3.5,  # aggressive location tracking
+            service_touch_pages=100,
+        ),
+        _app(
+            "GoogleMap", _UTILITY,
+            java_heap_mb=170, native_heap_mb=240, file_mb=220,
+            service_period_s=4.0,
+            service_touch_pages=110,
+        ),
+    ]
+    return {app.package: app for app in apps}
+
+
+APP_CATALOG: Dict[str, AppProfile] = _build_catalog()
+
+# The four scenario drivers (§2.2.1).
+SCENARIO_APPS = {
+    "S-A": "WhatsApp",
+    "S-B": "TikTok",
+    "S-C": "Facebook",
+    "S-D": "PUBGMobile",
+}
+
+
+def get_profile(package: str) -> AppProfile:
+    try:
+        return APP_CATALOG[package]
+    except KeyError:
+        known = ", ".join(sorted(APP_CATALOG))
+        raise KeyError(f"unknown app {package!r}; catalog has: {known}") from None
+
+
+def catalog_apps() -> List[AppProfile]:
+    """The 20 pre-installed applications (§5.1)."""
+    return list(APP_CATALOG.values())
+
+
+def extended_catalog() -> List[AppProfile]:
+    """40 applications for the §3.2 / Figure 4 study.
+
+    The second twenty are "Lite"/regional variants of the base catalog:
+    same behaviour class, 0.8x footprint, slightly different BG cadence.
+    """
+    apps = catalog_apps()
+    variants = []
+    for app in apps:
+        variants.append(
+            replace(
+                app,
+                package=f"{app.package}-Lite",
+                java_heap_mb=max(40, int(app.java_heap_mb * 0.8)),
+                native_heap_mb=max(40, int(app.native_heap_mb * 0.8)),
+                file_mb=max(40, int(app.file_mb * 0.8)),
+                bg_burst_period_s=app.bg_burst_period_s * 1.4,
+                buggy_stay_awake=False,
+            )
+        )
+    return apps + variants

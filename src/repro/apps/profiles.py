@@ -1,0 +1,115 @@
+"""Application behaviour profiles.
+
+A profile captures everything the simulator needs to reproduce the
+paper's observations about an application class:
+
+* **Footprint** — java heap / native heap / file-backed sizes (real MB;
+  the device spec scales them into simulated pages).  The heap split
+  drives Figure 4's categorization (≈51% anon refaults, of which ≈57%
+  native and ≈43% java).
+* **Background behaviour** — §3.2: runtime GC on the java heap, service
+  wakeups (location/sync/push) touching native+file pages, main-thread
+  activity for the ~58% of apps observed running in the background, and
+  the pathological "buggy release" always-awake pattern.
+* **Foreground behaviour** — frame cost and per-frame page traffic for
+  the scenario drivers (S-A..S-D), plus launch costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+MIB = 1024 * 1024
+
+
+class AppCategory(enum.Enum):
+    SOCIAL = "Social"
+    MULTIMEDIA = "Multi-Media"
+    GAME = "Game"
+    ECOMMERCE = "E-Commerce"
+    UTILITY = "Utility"
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Static description of one application's behaviour."""
+
+    package: str
+    category: AppCategory
+
+    # --- Footprint (real-world MB; scaled by DeviceSpec) --------------
+    java_heap_mb: int = 120
+    native_heap_mb: int = 140
+    file_mb: int = 160
+    # Fraction of each segment that forms the hot working-set nucleus.
+    hot_frac: float = 0.25
+    # Fraction of file pages dirtied during use (write-back on reclaim).
+    file_dirty_frac: float = 0.15
+
+    # --- Background behaviour (§3.2) -----------------------------------
+    # Whether the app's own threads run while cached in the BG (~58% do).
+    bg_active: bool = True
+    # Mean seconds between BG activity bursts (exponential).
+    bg_burst_period_s: float = 3.0
+    # CPU cost per burst (ms, lognormal around this mean).
+    bg_burst_cpu_ms: float = 6.0
+    # Pages touched per burst, split across segments.
+    bg_touch_pages: int = 90
+    # ART idle GC: period (s) and fraction of java heap walked per cycle.
+    gc_idle_period_s: float = 45.0
+    gc_touch_frac: float = 0.45
+    # Service wakeups (location listener, sync adapter, push): period in
+    # seconds, or None when the app registers no BG services.
+    service_period_s: Optional[float] = 8.0
+    service_touch_pages: int = 40
+    service_cpu_ms: float = 3.0
+    # The Facebook-style buggy always-awake pattern (§3.2).
+    buggy_stay_awake: bool = False
+    # User-perceptible in BG (music playback / downloads): whitelisted.
+    perceptible_in_bg: bool = False
+
+    # --- Foreground behaviour -------------------------------------------
+    # CPU per frame (ms) and its jitter; pages touched per frame; pages
+    # transiently allocated per frame (allocation churn under pressure).
+    frame_cpu_ms: float = 7.0
+    frame_cpu_jitter: float = 1.5
+    frame_touch_pages: int = 24
+    frame_alloc_pages: int = 2
+    # Content frame-rate cap (camera/video/network bound), <= 60.
+    content_fps: float = 60.0
+    # Periodic FG allocation bursts (e.g. PUBG round start needs 100MB+).
+    fg_alloc_burst_pages: int = 0
+    fg_alloc_burst_period_s: float = 60.0
+
+    # --- Launch ----------------------------------------------------------
+    cold_launch_cpu_ms: float = 900.0
+    # File pages streamed from flash during cold launch (code/resources),
+    # expressed as a fraction of the file segment.
+    cold_launch_read_frac: float = 0.55
+    hot_launch_cpu_ms: float = 120.0
+    # Fraction of the working set touched when resuming to FG.
+    hot_launch_touch_frac: float = 0.35
+    # Number of processes the application runs (§4.2.2: "each application
+    # generates several processes").
+    process_count: int = 3
+    # Fraction of the footprint made resident by a cold launch; the rest
+    # is demand-paged during use (None = ActivityManager default).
+    cold_resident_frac: "Optional[float]" = None
+
+    @property
+    def total_mb(self) -> int:
+        return self.java_heap_mb + self.native_heap_mb + self.file_mb
+
+    def footprint_pages(self, spec) -> int:
+        """Total simulated pages on a given device."""
+        return spec.scale_pages(self.total_mb * MIB)
+
+    def segment_pages(self, spec) -> dict:
+        """Per-segment simulated page counts on a given device."""
+        return {
+            "java_heap": spec.scale_pages(self.java_heap_mb * MIB),
+            "native_heap": spec.scale_pages(self.native_heap_mb * MIB),
+            "file_map": spec.scale_pages(self.file_mb * MIB),
+        }

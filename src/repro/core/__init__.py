@@ -1,0 +1,29 @@
+"""Ice: the paper's contribution (§4).
+
+Ice bridges memory management and process management: refault events
+detected in the kernel drive application-grain freezing (RPF, §4.2),
+and a memory-aware heartbeat periodically thaws frozen applications
+with an intensity tuned to memory pressure (MDT, §4.3).  A whitelist
+keeps the mechanism user-imperceptible (§4.4).
+
+Public entry point: :class:`~repro.core.ice.IcePolicy`, a management
+policy that can be attached to any :class:`~repro.system.MobileSystem`.
+"""
+
+from repro.core.config import IceConfig
+from repro.core.mapping_table import MappingTable, MappingTableFullError
+from repro.core.whitelist import Whitelist
+from repro.core.rpf import RefaultDrivenFreezer, RpfStats
+from repro.core.mdt import MemoryAwareThawing
+from repro.core.ice import IcePolicy
+
+__all__ = [
+    "IceConfig",
+    "MappingTable",
+    "MappingTableFullError",
+    "Whitelist",
+    "RefaultDrivenFreezer",
+    "RpfStats",
+    "MemoryAwareThawing",
+    "IcePolicy",
+]

@@ -1,0 +1,45 @@
+"""Ice configuration (paper Table 4).
+
+The defaults follow the paper's evaluation settings: weight coefficient
+``δ = 8.0`` and thaw epoch ``E_t = 1`` second.  ``max_freeze_s`` bounds
+the freezing period; the paper's formula is unbounded in the limit of
+vanishing available memory, so a cap keeps the heartbeat responsive
+(documented substitution — it only binds under extreme pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IceConfig:
+    """Tunables of RPF + MDT."""
+
+    # MDT weight coefficient δ (Table 4: 8.0).
+    delta: float = 8.0
+    # Thaw period E_t in seconds (Table 4: 1 second).
+    thaw_period_s: float = 1.0
+    # Upper bound for one freezing period (seconds).
+    max_freeze_s: float = 120.0
+    # Whitelist adj threshold: apps with adj <= this are never frozen
+    # (§4.4: FG = 0, perceptible = 200).
+    whitelist_adj: int = 200
+    # Mapping-table capacity bound (§6.4.1: 32 KB for safety).
+    mapping_table_bytes: int = 32 * 1024
+    # §6.3.1 extension: thaw the predicted-next application ahead of
+    # its launch, hiding the thaw latency entirely.
+    predictive_thaw: bool = False
+    # When available memory exceeds this multiple of the high watermark,
+    # MDT releases (thaws + deregisters) all frozen applications.  This
+    # is an extension beyond the paper (whose heartbeat cycles forever);
+    # the default only fires when the device becomes truly idle.
+    release_pressure_factor: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.thaw_period_s <= 0:
+            raise ValueError("thaw period must be positive")
+        if self.max_freeze_s < self.thaw_period_s:
+            raise ValueError("max_freeze_s must be >= thaw_period_s")

@@ -1,0 +1,161 @@
+"""The Ice daemon: RPF + MDT wired into a mobile system (§4.1).
+
+``IcePolicy`` is a management policy: attach it to a
+:class:`~repro.system.MobileSystem` and it
+
+1. subscribes RPF to the kernel's refault-event bus (control flow ①–③
+   of Figure 5: detect refault → resolve PID → application-grain
+   freeze),
+2. runs MDT's memory-aware heartbeat (④–⑤: monitor pressure →
+   periodic thawing),
+3. maintains the kernel-space UID↔PID mapping table from framework
+   lifecycle events (install / launch / kill / foreground switch), and
+4. thaws frozen applications before they are displayed
+   (thaw-on-launch, §4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.android.app import Application
+from repro.core.config import IceConfig
+from repro.core.mapping_table import MappingTable
+from repro.core.mdt import MemoryAwareThawing
+from repro.core.predictor import NextAppPredictor
+from repro.core.rpf import RefaultDrivenFreezer
+from repro.core.whitelist import Whitelist
+from repro.kernel.workingset import RefaultEvent
+from repro.policies.base import ManagementPolicy
+
+
+class IcePolicy(ManagementPolicy):
+    """Collaborative memory and process management."""
+
+    name = "Ice"
+    description = "refault-driven process freezing + memory-aware dynamic thawing"
+
+    def __init__(self, config: Optional[IceConfig] = None):
+        super().__init__()
+        self.config = config or IceConfig()
+        self.mapping_table: Optional[MappingTable] = None
+        self.whitelist: Optional[Whitelist] = None
+        self.rpf: Optional[RefaultDrivenFreezer] = None
+        self.mdt: Optional[MemoryAwareThawing] = None
+        self.predictor: Optional[NextAppPredictor] = None
+        self.thaw_on_launch_count = 0
+        self.predictive_thaw_count = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, system) -> None:
+        super().attach(system)
+        config = self.config
+        self.mapping_table = MappingTable(capacity_bytes=config.mapping_table_bytes)
+        self.whitelist = Whitelist(self.mapping_table, adj_threshold=config.whitelist_adj)
+        self.rpf = RefaultDrivenFreezer(
+            mapping_table=self.mapping_table,
+            whitelist=self.whitelist,
+            freezer=system.freezer,
+            on_app_frozen=self._on_app_frozen,
+        )
+        self.mdt = MemoryAwareThawing(
+            config=config,
+            sim=system.sim,
+            high_watermark_pages=system.spec.high_watermark_pages,
+            available_pages_fn=lambda: system.mm.available_pages,
+            freeze_uid=self._freeze_uid,
+            thaw_uid=self._thaw_uid,
+        )
+        if config.predictive_thaw:
+            self.predictor = NextAppPredictor()
+        system.mm.workingset.subscribe(self._on_refault)
+        # Register any apps that are already alive (mid-run attachment).
+        for app in system.apps.values():
+            if app.alive:
+                self._register_app(app)
+
+    def detach(self) -> None:
+        if self.system is not None:
+            self.system.mm.workingset.unsubscribe(self._on_refault)
+        if self.mdt is not None:
+            self.mdt.stop()
+        super().detach()
+
+    # ------------------------------------------------------------------
+    # Kernel-side flow (Figure 5 ①–③)
+    # ------------------------------------------------------------------
+    def _on_refault(self, event: RefaultEvent) -> None:
+        self.rpf.handle_refault(event)
+
+    def _on_app_frozen(self, uid: int) -> None:
+        self.mdt.register(uid)
+
+    def _freeze_uid(self, uid: int) -> None:
+        for pid in self.mapping_table.pids_of_uid(uid):
+            self.system.freezer.freeze(pid)
+            self.mapping_table.set_frozen(pid, True)
+
+    def _thaw_uid(self, uid: int) -> None:
+        for pid in self.mapping_table.pids_of_uid(uid):
+            self.system.freezer.thaw(pid)
+            self.mapping_table.set_frozen(pid, False)
+
+    # ------------------------------------------------------------------
+    # Framework-side flow (mapping-table maintenance, §4.2.2 / §4.4)
+    # ------------------------------------------------------------------
+    def _register_app(self, app: Application) -> None:
+        self.mapping_table.register_app(
+            uid=app.uid,
+            package=app.package,
+            pids=app.pids,
+            adj_score=app.adj,
+        )
+
+    def on_app_started(self, app: Application) -> None:
+        self._register_app(app)
+
+    def on_app_killed(self, app: Application) -> None:
+        self.mapping_table.remove_app(app.uid)
+        self.mdt.deregister(app.uid)
+        if self.predictor is not None:
+            self.predictor.forget(app.uid)
+
+    def on_foreground_change(self, app: Application, previous) -> None:
+        # Scores changed: push them down to the kernel table (§4.4).
+        self.mapping_table.set_adj_score(app.uid, app.adj)
+        if previous is not None and previous.alive:
+            self.mapping_table.set_adj_score(previous.uid, previous.adj)
+        if self.predictor is not None:
+            self.predictor.record_launch(app.uid)
+            predicted = self.predictor.predict_next(app.uid)
+            if predicted is not None and predicted != app.uid:
+                self._thaw_ahead(predicted)
+
+    def _thaw_ahead(self, uid: int) -> None:
+        """§6.3.1: thaw the predicted-next app before it is launched."""
+        pids = self.mapping_table.pids_of_uid(uid)
+        if any(self.system.freezer.is_frozen(pid) for pid in pids):
+            self.predictive_thaw_count += 1
+            self._thaw_uid(uid)
+
+    def before_launch(self, app: Application) -> float:
+        """Thaw-on-launch: thaw a frozen app before display (§4.4)."""
+        if not app.alive:
+            return 0.0
+        latency = 0.0
+        for pid in app.pids:
+            latency += self.system.freezer.thaw(pid)
+            self.mapping_table.set_frozen(pid, False)
+        if latency > 0:
+            self.thaw_on_launch_count += 1
+        self.mdt.deregister(app.uid)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def frozen_app_count(self) -> int:
+        return len(self.mdt.managed_uids) if self.mdt else 0

@@ -1,0 +1,145 @@
+"""MDT: memory-aware dynamic thawing (§4.3).
+
+MDT maintains a single heartbeat regardless of how many applications
+are frozen.  Each epoch is a freezing period of ``E_f`` seconds
+followed by a thawing period of ``E_t`` seconds.  The freezing
+intensity ``R = E_f / E_t`` follows the paper's formula::
+
+    R = δ · 2^ceil(H_wm / S_am)
+
+where ``H_wm`` is the high watermark and ``S_am`` the available memory,
+re-evaluated at the end of each epoch: shrinking availability raises R
+exponentially; with ``E_t`` fixed at one second, tuning R is simply
+tuning ``E_f``.
+
+An application frozen by RPF during the freezing period stays frozen
+until that period's end; one frozen during the thawing period waits for
+the *next* epoch's thawing period (§4.3).  When memory pressure
+disappears entirely, MDT releases its registrations (frozen apps return
+to normal scheduling until they refault again).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.config import IceConfig
+
+
+@dataclass
+class EpochRecord:
+    """One heartbeat epoch, for inspection and tests."""
+
+    start_ms: float
+    freeze_s: float
+    thaw_s: float
+    available_pages: int
+    frozen_apps: int
+
+
+class MemoryAwareThawing:
+    """The heartbeat that periodically thaws frozen applications."""
+
+    def __init__(
+        self,
+        config: IceConfig,
+        sim,
+        high_watermark_pages: int,
+        available_pages_fn: Callable[[], int],
+        freeze_uid: Callable[[int], None],
+        thaw_uid: Callable[[int], None],
+    ):
+        self.config = config
+        self.sim = sim
+        self.high_watermark_pages = high_watermark_pages
+        self.available_pages_fn = available_pages_fn
+        self.freeze_uid = freeze_uid
+        self.thaw_uid = thaw_uid
+        self.managed_uids: Set[int] = set()
+        self.in_thaw_period = False
+        self.current_freeze_s = self.compute_freeze_period_s()
+        self.epochs: List[EpochRecord] = []
+        self.started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # The paper's intensity formula
+    # ------------------------------------------------------------------
+    def compute_ratio(self) -> float:
+        """R = δ · 2^ceil(H_wm / S_am), Eq. (1)."""
+        available = max(1, self.available_pages_fn())
+        exponent = math.ceil(self.high_watermark_pages / available)
+        exponent = min(exponent, 16)  # numeric guard; documented in config
+        return self.config.delta * (2.0 ** exponent)
+
+    def compute_freeze_period_s(self) -> float:
+        """E_f = R · E_t, bounded by the configured maximum."""
+        freeze_s = self.compute_ratio() * self.config.thaw_period_s
+        return min(freeze_s, self.config.max_freeze_s)
+
+    # ------------------------------------------------------------------
+    # Registration (RPF hands frozen apps over here)
+    # ------------------------------------------------------------------
+    def register(self, uid: int) -> None:
+        self.managed_uids.add(uid)
+        if not self.started:
+            self.start()
+
+    def deregister(self, uid: int) -> None:
+        self.managed_uids.discard(uid)
+
+    # ------------------------------------------------------------------
+    # Heartbeat
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the heartbeat (first epoch starts now)."""
+        if self.started:
+            return
+        self.started = True
+        self._begin_epoch()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _begin_epoch(self) -> None:
+        if self._stopped:
+            return
+        self.in_thaw_period = False
+        self.current_freeze_s = self.compute_freeze_period_s()
+        self.epochs.append(
+            EpochRecord(
+                start_ms=self.sim.now,
+                freeze_s=self.current_freeze_s,
+                thaw_s=self.config.thaw_period_s,
+                available_pages=self.available_pages_fn(),
+                frozen_apps=len(self.managed_uids),
+            )
+        )
+        # Freeze period: (re)freeze every managed application.
+        for uid in list(self.managed_uids):
+            self.freeze_uid(uid)
+        self.sim.schedule(self.current_freeze_s * 1000.0, self._begin_thaw)
+
+    def _begin_thaw(self) -> None:
+        if self._stopped:
+            return
+        self.in_thaw_period = True
+        self._maybe_release_all()
+        for uid in list(self.managed_uids):
+            self.thaw_uid(uid)
+        self.sim.schedule(self.config.thaw_period_s * 1000.0, self._begin_epoch)
+
+    def _maybe_release_all(self) -> None:
+        """Release (thaw + deregister) every app when pressure vanished.
+
+        The paper's heartbeat cycles forever; this release path is an
+        extension for truly idle systems (e.g. after the user cleared
+        all apps) so nothing stays in freeze/thaw cycling needlessly.
+        """
+        threshold = self.high_watermark_pages * self.config.release_pressure_factor
+        if self.available_pages_fn() > threshold:
+            for uid in list(self.managed_uids):
+                self.thaw_uid(uid)
+            self.managed_uids.clear()

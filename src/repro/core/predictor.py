@@ -1,0 +1,80 @@
+"""Next-app prediction for thaw-ahead (§6.3.1 extension).
+
+The paper notes that Ice's hot-launch penalty "can be further eliminated
+by using it in combination with application prediction [6, 52]: if a BG
+application is predicted as the next used application, Ice can thaw it
+ahead of time."  This module provides that predictor: a first-order
+Markov chain over the launch sequence with a frequency fallback — the
+shape of the practical predictors the paper cites (Chu et al., Parate
+et al.), deliberately lightweight (the paper rejects heavy ML for the
+freezing decision itself, §4.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional
+
+
+class NextAppPredictor:
+    """First-order Markov next-app predictor with frequency fallback."""
+
+    def __init__(self, history_limit: int = 512):
+        self.history_limit = history_limit
+        self._transitions: Dict[int, Counter] = defaultdict(Counter)
+        self._frequency: Counter = Counter()
+        self._history: List[int] = []
+        self.predictions: int = 0
+        self.hits: int = 0
+        self._last_prediction: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def record_launch(self, uid: int) -> None:
+        """Observe a foreground switch to ``uid``."""
+        if self._last_prediction is not None:
+            self.predictions += 1
+            if self._last_prediction == uid:
+                self.hits += 1
+            self._last_prediction = None
+        if self._history and self._history[-1] != uid:
+            # Self-transitions (re-launching the FG app) carry no signal.
+            self._transitions[self._history[-1]][uid] += 1
+        self._frequency[uid] += 1
+        self._history.append(uid)
+        if len(self._history) > self.history_limit:
+            dropped = self._history.pop(0)
+            self._frequency[dropped] -= 1
+            if self._frequency[dropped] <= 0:
+                del self._frequency[dropped]
+
+    def predict_next(self, current_uid: Optional[int] = None) -> Optional[int]:
+        """Most likely next app, or ``None`` without enough signal."""
+        if current_uid is None and self._history:
+            current_uid = self._history[-1]
+        candidates = self._transitions.get(current_uid)
+        prediction: Optional[int] = None
+        if candidates:
+            for uid, _count in candidates.most_common():
+                if uid != current_uid:
+                    prediction = uid
+                    break
+        elif self._frequency:
+            # Fall back to the most frequent app that is not current.
+            for uid, _count in self._frequency.most_common():
+                if uid != current_uid:
+                    prediction = uid
+                    break
+        self._last_prediction = prediction
+        return prediction
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / self.predictions if self.predictions else 0.0
+
+    def forget(self, uid: int) -> None:
+        """Drop an uninstalled/killed app from the model."""
+        self._transitions.pop(uid, None)
+        for counter in self._transitions.values():
+            counter.pop(uid, None)
+        self._frequency.pop(uid, None)
+        self._history = [entry for entry in self._history if entry != uid]

@@ -1,0 +1,119 @@
+"""RPF: refault-driven process freezing (§4.2).
+
+RPF follows the event-condition-action (ECA) rule:
+
+* **Event** — a refault detected in the kernel (the workingset shadow-
+  entry bus publishes them in near real time).
+* **Condition** — the faulting process is a background application
+  process, it is known to the mapping table (kernel threads and Android
+  services are sifted out), and its application is not whitelisted.
+* **Action** — freeze the *whole application*: every process sharing
+  the faulting process's UID receives the freeze signal
+  (application-grain freezing, §4.2.2), and the application is handed
+  to MDT for periodic thawing.
+
+Freezing on the *first* refault is deliberate: the paper observes that
+a process demands multiple pages at a time, so adjacent refaults come
+from the same application — a lightweight alternative to prediction
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.mapping_table import MappingTable
+from repro.core.whitelist import Whitelist
+from repro.kernel.freezer import Freezer
+from repro.kernel.workingset import RefaultEvent
+
+
+@dataclass
+class RpfStats:
+    """Counters for the ECA pipeline."""
+
+    events_seen: int = 0
+    fg_skipped: int = 0
+    sifted_unknown: int = 0  # kernel/service processes
+    whitelisted: int = 0
+    already_frozen: int = 0
+    apps_frozen: int = 0
+    processes_frozen: int = 0
+
+
+@dataclass(frozen=True)
+class FreezeAction:
+    """One application-grain freeze decision."""
+
+    time_ms: float
+    uid: int
+    trigger_pid: int
+    frozen_pids: tuple
+
+
+class RefaultDrivenFreezer:
+    """The ECA engine subscribed to the refault-event bus."""
+
+    def __init__(
+        self,
+        mapping_table: MappingTable,
+        whitelist: Whitelist,
+        freezer: Freezer,
+        on_app_frozen: Optional[Callable[[int], None]] = None,
+    ):
+        self.mapping_table = mapping_table
+        self.whitelist = whitelist
+        self.freezer = freezer
+        # MDT registration callback: uid of the newly-frozen app.
+        self.on_app_frozen = on_app_frozen
+        self.stats = RpfStats()
+        self.actions: List[FreezeAction] = []
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    def handle_refault(self, event: RefaultEvent) -> Optional[FreezeAction]:
+        """ECA entry point: called for every refault event."""
+        if not self.enabled:
+            return None
+        self.stats.events_seen += 1
+
+        # Condition 1: only background refaults drive freezing.
+        if event.foreground:
+            self.stats.fg_skipped += 1
+            return None
+
+        # Condition 2: the process must belong to a known application —
+        # kernel threads and Android services are sifted out here.
+        uid = self.mapping_table.uid_of_pid(event.pid)
+        if uid is None:
+            self.stats.sifted_unknown += 1
+            return None
+
+        # Condition 3: whitelisted (perceptible / vendor-pinned) apps
+        # are never frozen.
+        if self.whitelist.is_whitelisted(uid):
+            self.stats.whitelisted += 1
+            return None
+
+        # Action: application-grain freeze.
+        pids = self.mapping_table.pids_of_uid(uid)
+        to_freeze = [pid for pid in pids if not self.freezer.is_frozen(pid)]
+        if not to_freeze:
+            self.stats.already_frozen += 1
+            return None
+        for pid in to_freeze:
+            self.freezer.freeze(pid)
+            self.mapping_table.set_frozen(pid, True)
+            self.stats.processes_frozen += 1
+        self.stats.apps_frozen += 1
+        action = FreezeAction(
+            time_ms=event.time_ms,
+            uid=uid,
+            trigger_pid=event.pid,
+            frozen_pids=tuple(to_freeze),
+        )
+        self.actions.append(action)
+        if self.on_app_frozen is not None:
+            self.on_app_frozen(uid)
+        return action

@@ -1,0 +1,57 @@
+"""The safety whitelist (§4.4).
+
+Perceptible applications must never be frozen: the foreground app
+(adj 0), background apps doing perceptible work such as music playback
+or downloads (adj 200), and any vendor-pinned UIDs (antivirus, phone,
+messaging).  The whitelist is evaluated against the mapping table's
+recorded adj scores — scores are pushed down from the framework when
+they change, so the check itself is a kernel-space lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.mapping_table import MappingTable
+
+
+class Whitelist:
+    """adj-score plus vendor-list freezing exemptions."""
+
+    def __init__(self, mapping_table: MappingTable, adj_threshold: int = 200):
+        self.mapping_table = mapping_table
+        self.adj_threshold = adj_threshold
+        self._vendor_uids: Set[int] = set()
+        self.checks: int = 0
+        self.hits: int = 0
+
+    # ------------------------------------------------------------------
+    # Offline management (vendor-pinned apps, §4.4)
+    # ------------------------------------------------------------------
+    def pin_uid(self, uid: int) -> None:
+        """Vendor-pinned: this UID is never frozen."""
+        self._vendor_uids.add(uid)
+
+    def unpin_uid(self, uid: int) -> None:
+        self._vendor_uids.discard(uid)
+
+    @property
+    def vendor_uids(self) -> Set[int]:
+        return set(self._vendor_uids)
+
+    # ------------------------------------------------------------------
+    def is_whitelisted(self, uid: int) -> bool:
+        """True when the application must not be frozen."""
+        self.checks += 1
+        if uid in self._vendor_uids:
+            self.hits += 1
+            return True
+        adj: Optional[int] = self.mapping_table.adj_of_uid(uid)
+        if adj is None:
+            # Unknown to the table (kernel/service process): never freeze.
+            self.hits += 1
+            return True
+        if adj <= self.adj_threshold:
+            self.hits += 1
+            return True
+        return False

@@ -1,0 +1,23 @@
+"""Device models for the smartphones used in the paper (Table 2, §5.1)."""
+
+from repro.devices.specs import (
+    DEVICES,
+    DeviceSpec,
+    StorageSpec,
+    get_device,
+    huawei_p20,
+    huawei_p40,
+    pixel3,
+    pixel4,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "StorageSpec",
+    "DEVICES",
+    "get_device",
+    "pixel3",
+    "pixel4",
+    "huawei_p20",
+    "huawei_p40",
+]

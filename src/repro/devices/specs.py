@@ -1,0 +1,193 @@
+"""Hardware specifications of the evaluated smartphones.
+
+The paper evaluates on Google Pixel3 (low-end: Snapdragon 845, 4 GB DDR4,
+64 GB eMMC 5.1) and HUAWEI P20 (mid-range: Kirin 970, 6 GB DDR4, 64 GB
+UFS 2.1); the user study (Table 2) additionally uses the P40 and Pixel4.
+
+Memory scaling
+--------------
+Simulating every 4 KiB page of 4-6 GB of DRAM is needlessly expensive in
+Python, and nothing in ICE's behaviour depends on absolute DRAM size —
+only on *relative* pressure.  Each spec therefore carries a
+``memory_scale`` (default 16): the simulator models ``ram_bytes /
+memory_scale`` of DRAM, and the application catalog scales footprints by
+the same factor.  All page counts reported by the simulator are in
+simulated (scaled) pages.
+
+Watermarks follow the paper's §5.3: the high watermark is a per-device
+constant; low = 5/6 of high and min = 2/3 of high (footnote 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+PAGE_SIZE = 4096
+MIB = 1024 * 1024
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Flash storage timing model (per 4 KiB page, milliseconds)."""
+
+    kind: str  # "eMMC" or "UFS"
+    read_ms: float
+    write_ms: float
+    capacity_bytes: int = 64 * GIB
+
+    def __post_init__(self) -> None:
+        if self.read_ms <= 0 or self.write_ms <= 0:
+            raise ValueError("storage latencies must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A smartphone model as visible to the simulator."""
+
+    name: str
+    soc: str
+    ram_bytes: int
+    cores: int
+    android_version: int
+    storage: StorageSpec
+    zram_bytes: int
+    high_watermark_pages: int  # in *simulated* pages
+    memory_scale: int = 16
+    # Fraction of RAM pinned by kernel + Android framework + system
+    # services; never reclaimable and never attributed to apps.
+    system_reserved_frac: float = 0.42
+    # Relative single-core speed (1.0 = Snapdragon 845 reference); scales
+    # CPU costs of app work.
+    cpu_speed: float = 1.0
+    zram_compression_ratio: float = 2.8
+    # Per-page ZRAM costs: the store path (compression + zsmalloc pool
+    # work under the zram lock) dominates reclaim cost; the load path is
+    # cheap, which is why refaults are individually fast but collectively
+    # force expensive re-reclaims.
+    zram_compress_ms: float = 0.50
+    zram_decompress_ms: float = 0.06
+
+    # ------------------------------------------------------------------
+    # Derived, simulated-scale quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        """Total simulated DRAM pages."""
+        return self.ram_bytes // self.memory_scale // PAGE_SIZE
+
+    @property
+    def zram_pages(self) -> int:
+        """Simulated ZRAM disksize in pages (max reclaimable anon)."""
+        return self.zram_bytes // self.memory_scale // PAGE_SIZE
+
+    @property
+    def system_reserved_pages(self) -> int:
+        return int(self.total_pages * self.system_reserved_frac)
+
+    @property
+    def managed_pages(self) -> int:
+        """Pages available to applications (total minus system reserve)."""
+        return self.total_pages - self.system_reserved_pages
+
+    @property
+    def low_watermark_pages(self) -> int:
+        """low = 5/6 of high (paper §5.3 footnote)."""
+        return (self.high_watermark_pages * 5) // 6
+
+    @property
+    def min_watermark_pages(self) -> int:
+        """min = 2/3 of high (paper §5.3 footnote)."""
+        return (self.high_watermark_pages * 2) // 3
+
+    def scale_pages(self, real_bytes: int) -> int:
+        """Convert a real-world byte size to simulated pages."""
+        return max(1, real_bytes // self.memory_scale // PAGE_SIZE)
+
+
+# Latencies are per *simulated* page, which stands for memory_scale (16)
+# real 4 KiB pages, i.e. one 64 KiB extent: a random 4K read of ~0.18 ms
+# on eMMC becomes ~2.8 ms per simulated page, and proportionally less on
+# UFS generations.
+_EMMC = StorageSpec(kind="eMMC", read_ms=1.5, write_ms=3.0)
+_UFS21 = StorageSpec(kind="UFS", read_ms=1.3, write_ms=2.3)
+_UFS30 = StorageSpec(kind="UFS", read_ms=1.0, write_ms=1.8)
+
+
+def pixel3() -> DeviceSpec:
+    """Google Pixel3 — the paper's low-end device (§5.1)."""
+    return DeviceSpec(
+        name="Pixel3",
+        soc="Snapdragon 845",
+        ram_bytes=4 * GIB,
+        cores=8,
+        android_version=10,
+        storage=_EMMC,
+        zram_bytes=512 * MIB,
+        high_watermark_pages=192,  # scaled analogue of Hwm^g = 256
+        cpu_speed=1.0,
+        # Lean Android build on the 4 GB device: a smaller share of RAM
+        # is pinned by the system image.
+        system_reserved_frac=0.34,
+    )
+
+
+def huawei_p20() -> DeviceSpec:
+    """HUAWEI P20 — the paper's mid-range device (§5.1)."""
+    return DeviceSpec(
+        name="P20",
+        soc="Kirin 970",
+        ram_bytes=6 * GIB,
+        cores=8,
+        android_version=9,
+        storage=_UFS21,
+        zram_bytes=1024 * MIB,
+        high_watermark_pages=256,  # scaled analogue of Hwm^h = 1024
+        cpu_speed=1.05,
+    )
+
+
+def huawei_p40() -> DeviceSpec:
+    """HUAWEI P40 — user-study device (Table 2)."""
+    return DeviceSpec(
+        name="P40",
+        soc="Kirin 990",
+        ram_bytes=8 * GIB,
+        cores=8,
+        android_version=10,
+        storage=_UFS30,
+        zram_bytes=1536 * MIB,
+        high_watermark_pages=320,
+        cpu_speed=1.25,
+    )
+
+
+def pixel4() -> DeviceSpec:
+    """Google Pixel4 — user-study device (Table 2)."""
+    return DeviceSpec(
+        name="Pixel4",
+        soc="Snapdragon 855",
+        ram_bytes=6 * GIB,
+        cores=8,
+        android_version=10,
+        storage=_UFS21,
+        zram_bytes=1024 * MIB,
+        high_watermark_pages=288,
+        cpu_speed=1.2,
+    )
+
+
+DEVICES: Dict[str, "DeviceSpec"] = {}
+for _factory in (pixel3, huawei_p20, huawei_p40, pixel4):
+    _spec = _factory()
+    DEVICES[_spec.name] = _spec
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device spec by name (``Pixel3``, ``P20``, ``P40``, ``Pixel4``)."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

@@ -1,0 +1,43 @@
+"""Linux-style memory-management substrate.
+
+This package models the slice of the Linux/Android kernel that the ICE
+paper's mechanism lives in:
+
+* pages and page-table entries with a ``_PAGE_PRESENT`` flag
+  (:mod:`repro.kernel.page`, :mod:`repro.kernel.page_table`);
+* active/inactive LRU lists with second-chance aging
+  (:mod:`repro.kernel.lru`);
+* shadow entries and refault distance (:mod:`repro.kernel.workingset`);
+* watermark-driven kswapd plus non-preemptive direct reclaim
+  (:mod:`repro.kernel.reclaim`, :mod:`repro.kernel.mm`);
+* the page-fault path with FG/BG refault classification
+  (:mod:`repro.kernel.page_fault`);
+* the per-process reclaim feature used by the paper's Figure 4 study
+  (:mod:`repro.kernel.proc_reclaim`);
+* the task freezer (:mod:`repro.kernel.freezer`) that RPF drives.
+"""
+
+from repro.kernel.page import HeapKind, Page, PageKind
+from repro.kernel.page_table import PageTable
+from repro.kernel.lru import LruKind, LruLists
+from repro.kernel.workingset import RefaultEvent, WorkingSet
+from repro.kernel.vmstat import VmStat
+from repro.kernel.mm import MemoryManager, OutOfMemoryError
+from repro.kernel.freezer import Freezer
+from repro.kernel.proc_reclaim import PerProcessReclaim
+
+__all__ = [
+    "Page",
+    "PageKind",
+    "HeapKind",
+    "PageTable",
+    "LruKind",
+    "LruLists",
+    "WorkingSet",
+    "RefaultEvent",
+    "VmStat",
+    "MemoryManager",
+    "OutOfMemoryError",
+    "Freezer",
+    "PerProcessReclaim",
+]

@@ -1,0 +1,73 @@
+"""Task freezer (§4.2.2): the mechanism RPF drives.
+
+Models the kernel's freezing-of-tasks facility: a frozen task is removed
+from scheduling and "will never be executed before thawing, and thus
+will not induce refault".  Freezing is requested per *task*; Ice always
+freezes whole applications (all tasks of all processes sharing a UID),
+which is handled one level up in :mod:`repro.core.rpf`.
+
+Thawing costs a small latency per process (the paper reports tens of
+milliseconds per application, §6.4.2), charged to whoever thaws —
+MDT's heartbeat or the thaw-on-launch path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+# Per-process thaw latency in ms (tens of ms per *application*, which
+# typically spans ~3 processes).
+THAW_LATENCY_MS_PER_PROCESS = 12.0
+FREEZE_LATENCY_MS_PER_PROCESS = 2.0
+
+
+class Freezer:
+    """Tracks frozen tasks and performs freeze/thaw transitions."""
+
+    def __init__(self) -> None:
+        self._frozen_pids: Set[int] = set()
+        self.freeze_count: int = 0
+        self.thaw_count: int = 0
+        # Observers are notified with (pid, frozen) after each change so
+        # the scheduler can pull/push run-queue entries.
+        self._observers: List[Callable[[int, bool], None]] = []
+
+    def subscribe(self, callback: Callable[[int, bool], None]) -> None:
+        self._observers.append(callback)
+
+    # ------------------------------------------------------------------
+    def is_frozen(self, pid: int) -> bool:
+        return pid in self._frozen_pids
+
+    @property
+    def frozen_pids(self) -> Set[int]:
+        return set(self._frozen_pids)
+
+    def freeze(self, pid: int) -> float:
+        """Freeze one process (all its tasks).  Returns latency in ms.
+
+        Idempotent: freezing an already-frozen process costs nothing.
+        """
+        if pid in self._frozen_pids:
+            return 0.0
+        self._frozen_pids.add(pid)
+        self.freeze_count += 1
+        self._notify(pid, True)
+        return FREEZE_LATENCY_MS_PER_PROCESS
+
+    def thaw(self, pid: int) -> float:
+        """Thaw one process.  Returns latency in ms; 0 if not frozen."""
+        if pid not in self._frozen_pids:
+            return 0.0
+        self._frozen_pids.remove(pid)
+        self.thaw_count += 1
+        self._notify(pid, False)
+        return THAW_LATENCY_MS_PER_PROCESS
+
+    def forget(self, pid: int) -> None:
+        """Drop state for a dead process (no thaw latency, no callbacks)."""
+        self._frozen_pids.discard(pid)
+
+    def _notify(self, pid: int, frozen: bool) -> None:
+        for callback in list(self._observers):
+            callback(pid, frozen)

@@ -1,0 +1,202 @@
+"""Active/inactive LRU page lists with second-chance aging.
+
+Mirrors the Linux MM layout the paper's baseline ("LRU [22]") uses:
+four lists — ``{active, inactive} x {anon, file}``.  New pages enter the
+inactive list; a reference observed during an inactive scan promotes
+the page to the active list (second chance); active scans age pages
+back down to keep the inactive list stocked.  Reclaim consumes victims
+from the cold end of the inactive lists.
+
+The implementation uses ``OrderedDict`` keyed by page id so membership
+moves are O(1); the *cold* end is the front (FIFO order of insertion).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Callable, Iterator, List, Optional
+
+from repro.kernel.page import Page, PageKind
+
+
+class LruKind(enum.Enum):
+    ACTIVE_ANON = "active_anon"
+    INACTIVE_ANON = "inactive_anon"
+    ACTIVE_FILE = "active_file"
+    INACTIVE_FILE = "inactive_file"
+
+
+def _active_kind(page: Page) -> LruKind:
+    return LruKind.ACTIVE_ANON if page.is_anon else LruKind.ACTIVE_FILE
+
+
+def _inactive_kind(page: Page) -> LruKind:
+    return LruKind.INACTIVE_ANON if page.is_anon else LruKind.INACTIVE_FILE
+
+
+class LruLists:
+    """The four Linux-style page LRU lists."""
+
+    def __init__(self) -> None:
+        self._lists = {kind: OrderedDict() for kind in LruKind}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, page: Page, active: bool = False) -> None:
+        """Insert a newly-resident page at the hot end."""
+        if page.lru is not None:
+            raise ValueError(f"page {page.page_id} already on {page.lru}")
+        kind = _active_kind(page) if active else _inactive_kind(page)
+        self._lists[kind][page.page_id] = page
+        page.lru = kind
+
+    def remove(self, page: Page) -> None:
+        """Take a page off whatever list it is on (eviction, unmap)."""
+        if page.lru is None:
+            raise ValueError(f"page {page.page_id} not on any LRU list")
+        del self._lists[page.lru][page.page_id]
+        page.lru = None
+
+    def discard(self, page: Page) -> None:
+        """Remove if present; no-op otherwise (process teardown)."""
+        if page.lru is not None:
+            self._lists[page.lru].pop(page.page_id, None)
+            page.lru = None
+
+    def contains(self, page: Page) -> bool:
+        return page.lru is not None and page.page_id in self._lists[page.lru]
+
+    # ------------------------------------------------------------------
+    # Aging
+    # ------------------------------------------------------------------
+    def activate(self, page: Page) -> None:
+        """Promote a page to the hot end of its active list."""
+        self.remove(page)
+        kind = _active_kind(page)
+        self._lists[kind][page.page_id] = page
+        page.lru = kind
+
+    def deactivate(self, page: Page) -> None:
+        """Demote a page to the hot end of its inactive list."""
+        self.remove(page)
+        kind = _inactive_kind(page)
+        self._lists[kind][page.page_id] = page
+        page.lru = kind
+
+    def rotate(self, page: Page) -> None:
+        """Move a page to the hot end of its current list (second chance)."""
+        if page.lru is None:
+            raise ValueError(f"page {page.page_id} not on any LRU list")
+        lst = self._lists[page.lru]
+        lst.move_to_end(page.page_id)
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def coldest(self, kind: LruKind) -> Optional[Page]:
+        lst = self._lists[kind]
+        if not lst:
+            return None
+        return next(iter(lst.values()))
+
+    def pop_coldest(self, kind: LruKind) -> Optional[Page]:
+        lst = self._lists[kind]
+        if not lst:
+            return None
+        _, page = lst.popitem(last=False)
+        page.lru = None
+        return page
+
+    def scan_inactive(
+        self,
+        kind: LruKind,
+        budget: int,
+        protect: Optional[Callable[[Page], bool]] = None,
+    ) -> List[Page]:
+        """Scan up to ``budget`` cold inactive pages; return eviction victims.
+
+        Implements second chance: referenced pages are activated instead
+        of evicted.  ``protect`` is the policy hook (Acclaim's FAE): a
+        protected page is rotated back rather than selected.  Victims are
+        *removed* from the list; the caller must either evict them or
+        re-add them.
+        """
+        if kind not in (LruKind.INACTIVE_ANON, LruKind.INACTIVE_FILE):
+            raise ValueError(f"scan_inactive on non-inactive list {kind}")
+        victims: List[Page] = []
+        scanned = 0
+        lst = self._lists[kind]
+        while scanned < budget and lst:
+            page = next(iter(lst.values()))
+            scanned += 1
+            if page.referenced:
+                page.referenced = False
+                self.activate(page)
+                continue
+            if protect is not None and protect(page):
+                self.rotate(page)
+                continue
+            self.remove(page)
+            victims.append(page)
+        return victims
+
+    def age_active(self, kind: LruKind, budget: int) -> int:
+        """Move up to ``budget`` cold unreferenced active pages to inactive.
+
+        Referenced pages get their young bit cleared and rotate to the
+        hot end (they survive this aging round).  Returns the number of
+        pages demoted.
+        """
+        if kind not in (LruKind.ACTIVE_ANON, LruKind.ACTIVE_FILE):
+            raise ValueError(f"age_active on non-active list {kind}")
+        demoted = 0
+        scanned = 0
+        lst = self._lists[kind]
+        while scanned < budget and lst:
+            page = next(iter(lst.values()))
+            scanned += 1
+            if page.referenced:
+                page.referenced = False
+                self.rotate(page)
+                continue
+            self.deactivate(page)
+            demoted += 1
+        return demoted
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def size(self, kind: LruKind) -> int:
+        return len(self._lists[kind])
+
+    @property
+    def inactive_anon(self) -> int:
+        return self.size(LruKind.INACTIVE_ANON)
+
+    @property
+    def active_anon(self) -> int:
+        return self.size(LruKind.ACTIVE_ANON)
+
+    @property
+    def inactive_file(self) -> int:
+        return self.size(LruKind.INACTIVE_FILE)
+
+    @property
+    def active_file(self) -> int:
+        return self.size(LruKind.ACTIVE_FILE)
+
+    @property
+    def total(self) -> int:
+        return sum(len(lst) for lst in self._lists.values())
+
+    def iter_pages(self, kind: LruKind) -> Iterator[Page]:
+        return iter(self._lists[kind].values())
+
+    def needs_aging(self, kind_inactive: LruKind) -> bool:
+        """Linux keeps inactive:active near 1:2 for anon and 1:1 for file;
+        we age the active list when inactive falls below that share."""
+        if kind_inactive is LruKind.INACTIVE_ANON:
+            return self.inactive_anon * 2 < self.active_anon
+        return self.inactive_file < self.active_file

@@ -1,0 +1,380 @@
+"""The memory manager: allocation, watermarks, eviction, reclaim.
+
+This is the junction where the paper's problem lives.  Free memory is
+``managed - resident - zram_pool``; when it drops below the **low**
+watermark kswapd is woken (asynchronous background reclaim), and when an
+allocation finds it below the **min** watermark the allocating task
+performs **direct reclaim** itself — non-preemptively, which is the
+priority-inversion path of §2.2.3(2): a foreground frame-rendering task
+can be stuck reclaiming pages that background refaults keep pulling
+back.
+
+Eviction routes anonymous pages to ZRAM (compression CPU charged to the
+reclaiming context) and dirty file pages to flash write-back (device
+occupancy charged to the block queue); clean file pages are dropped.
+Every eviction installs a shadow entry so the next touch registers as a
+refault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.devices.specs import DeviceSpec
+from repro.kernel.lru import LruKind, LruLists
+from repro.kernel.page import Page
+from repro.kernel.vmstat import VmStat
+from repro.kernel.workingset import WorkingSet
+from repro.storage.flash import FlashDevice
+from repro.storage.zram import ZramDevice, ZramFullError
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation cannot be satisfied even after reclaim.
+
+    The Android layer catches this and invokes the low-memory killer.
+    """
+
+
+@dataclass
+class ReclaimResult:
+    """Outcome of one reclaim pass."""
+
+    reclaimed: int = 0
+    scanned: int = 0
+    cpu_ms: float = 0.0
+    io_wait_ms: float = 0.0
+    zram_full: bool = False
+
+    def merge(self, other: "ReclaimResult") -> None:
+        self.reclaimed += other.reclaimed
+        self.scanned += other.scanned
+        self.cpu_ms += other.cpu_ms
+        self.io_wait_ms += other.io_wait_ms
+        self.zram_full = self.zram_full or other.zram_full
+
+
+@dataclass
+class AllocationOutcome:
+    """Cost of making pages resident (charged to the allocating task)."""
+
+    pages: int = 0
+    stall_ms: float = 0.0  # direct-reclaim time, non-preemptive
+    direct_reclaims: int = 0
+
+
+# CPU cost model (ms per page) for the reclaim path.  Includes LRU lock
+# contention, rmap walks and PTE teardown on a mobile-class SoC, where
+# sustained reclaim throughput is on the order of 100 MB/s — a few
+# thousand (simulated) pages per second here.  This is the regime in
+# which bursty BG refault storms outlast the watermark band and push
+# foreground allocations into direct reclaim (the paper's §2.2.3(2)
+# priority-inversion path); one 32-page direct-reclaim batch costs
+# ~10 ms, i.e. a missed vsync.
+SCAN_COST_MS = 0.030
+EVICT_COST_MS = 0.400
+DIRECT_RECLAIM_BATCH = 16
+# Rough all-in cost of reclaiming one page (scan + unmap + compress),
+# used by kswapd to size its per-quantum batches.
+PAGE_RECLAIM_COST_EST_MS = 1.0
+# Allocator slow-path contention while reclaim is churning: zone/LRU
+# lock contention, allocation retries and compaction interference make
+# every allocation slower when free memory sits inside the watermark
+# band.  Charged per page, capped per call (bulk allocations amortise
+# lock acquisitions).
+ALLOC_CONTENTION_LOW_MS = 6.0   # free in [min, low): kswapd fighting inflow
+ALLOC_CONTENTION_HIGH_MS = 0.3  # free in [low, high): mild churn
+ALLOC_CONTENTION_CAP_MS = 30.0
+
+
+class MemoryManager:
+    """Watermark-driven physical-memory manager for one device."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        zram: ZramDevice,
+        flash: FlashDevice,
+        clock: Callable[[], float],
+    ):
+        self.spec = spec
+        self.zram = zram
+        self.flash = flash
+        self.clock = clock
+        self.lru = LruLists()
+        self.workingset = WorkingSet()
+        self.vmstat = VmStat()
+        self.resident_pages: int = 0
+        # Policy hooks (set by the active management policy):
+        # protect-from-reclaim predicate (Acclaim's FAE) ...
+        self.reclaim_protect: Optional[Callable[[Page], bool]] = None
+        # ... and the kswapd wakeup callback (wired by the system layer).
+        self.kswapd_waker: Optional[Callable[[], None]] = None
+        # Set by the ActivityManager so refaults can be classified FG/BG.
+        self.foreground_uid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def managed_pages(self) -> int:
+        return self.spec.managed_pages
+
+    @property
+    def free_pages(self) -> int:
+        pool = int(self.zram.pool_pages())
+        return self.managed_pages - self.resident_pages - pool
+
+    @property
+    def below_low(self) -> bool:
+        return self.free_pages < self.spec.low_watermark_pages
+
+    @property
+    def below_min(self) -> bool:
+        return self.free_pages < self.spec.min_watermark_pages
+
+    @property
+    def below_high(self) -> bool:
+        return self.free_pages < self.spec.high_watermark_pages
+
+    @property
+    def available_pages(self) -> int:
+        """The MDT formula's S_am: free plus easily-droppable file pages."""
+        return self.free_pages + self.lru.inactive_file
+
+    def memory_pressure(self) -> float:
+        """0 (idle) .. 1+ (thrashing): high-watermark over availability."""
+        available = max(1, self.available_pages)
+        return self.spec.high_watermark_pages / available
+
+    # ------------------------------------------------------------------
+    # Allocation / residency
+    # ------------------------------------------------------------------
+    def make_resident(self, page: Page, active: bool = False) -> AllocationOutcome:
+        """Bring one page into memory; may trigger direct reclaim."""
+        outcome = AllocationOutcome()
+        if page.present:
+            return outcome
+        self._ensure_headroom(outcome)
+        page.present = True
+        # The young bit is set by actual CPU accesses, not by allocation:
+        # a freshly-allocated page that is never touched again must look
+        # cold to the LRU scan.
+        page.referenced = False
+        self.resident_pages += 1
+        self.vmstat.pgalloc += 1
+        self.lru.add(page, active=active)
+        outcome.pages = 1
+        self._charge_contention(outcome, 1)
+        self._check_watermarks()
+        return outcome
+
+    def make_resident_bulk(self, pages: List[Page], active: bool = False) -> AllocationOutcome:
+        """Fault-in / allocate a batch of pages."""
+        outcome = AllocationOutcome()
+        for page in pages:
+            if page.present:
+                continue
+            self._ensure_headroom(outcome)
+            page.present = True
+            page.referenced = False
+            self.resident_pages += 1
+            self.vmstat.pgalloc += 1
+            self.lru.add(page, active=active)
+            outcome.pages += 1
+        self._charge_contention(outcome, outcome.pages)
+        self._check_watermarks()
+        return outcome
+
+    def _charge_contention(self, outcome: AllocationOutcome, pages: int) -> None:
+        """Allocator slow-path latency while reclaim churns (§2.2.3(2)):
+        the non-preemptive reclaim machinery slows every allocator down,
+        foreground render threads included."""
+        if pages <= 0 or not self.below_high:
+            return
+        if self.below_low:
+            per_page = ALLOC_CONTENTION_LOW_MS
+        else:
+            per_page = ALLOC_CONTENTION_HIGH_MS
+        stall = min(ALLOC_CONTENTION_CAP_MS, per_page * pages)
+        outcome.stall_ms += stall
+        self.vmstat.alloc_stall_ms += stall
+
+    def release(self, page: Page) -> None:
+        """A resident page leaves memory without eviction (free/unmap)."""
+        if not page.present:
+            return
+        page.present = False
+        self.lru.discard(page)
+        self.resident_pages -= 1
+        self.vmstat.pgfree += 1
+
+    def discard_page(self, page: Page) -> None:
+        """Drop one page entirely: free it if resident, otherwise clear
+        its swap slot / shadow entry (transient-allocation teardown)."""
+        if page.present:
+            self.release(page)
+        else:
+            if page.is_anon and page.was_evicted:
+                self.zram.discard(page.page_id)
+            self.workingset.drop_shadow(page)
+
+    def release_process_pages(self, pages: List[Page]) -> int:
+        """Tear down a dead process: free resident pages, drop zram slots
+        and shadow entries.  Returns the number of resident pages freed."""
+        freed = 0
+        for page in pages:
+            if page.present:
+                freed += 1
+            self.discard_page(page)
+        return freed
+
+    def _ensure_headroom(self, outcome: AllocationOutcome) -> None:
+        """Direct-reclaim until a page can be allocated (§2.2.3(2)).
+
+        The stall is charged to ``outcome`` — the caller's timeline —
+        because direct reclaim is non-preemptive.
+        """
+        # Like the kernel's try_to_free_pages loop: the allocating
+        # context reclaims, non-preemptively, until the min watermark is
+        # restored.  A deep deficit (a background refault storm just
+        # faulted in hundreds of pages) is paid for by whoever allocates
+        # next — including the foreground render thread.
+        attempts = 0
+        while self.free_pages <= self.spec.min_watermark_pages and attempts < 32:
+            result = self.shrink(DIRECT_RECLAIM_BATCH, direct=True)
+            outcome.stall_ms += result.cpu_ms + result.io_wait_ms
+            outcome.direct_reclaims += 1
+            self.vmstat.direct_reclaim_entries += 1
+            self.vmstat.direct_reclaim_stall_ms += result.cpu_ms + result.io_wait_ms
+            attempts += 1
+            if result.reclaimed == 0:
+                if self.free_pages <= 0:
+                    self.vmstat.oom_kills += 1
+                    raise OutOfMemoryError(
+                        f"allocation failed: free={self.free_pages}, "
+                        f"resident={self.resident_pages}/{self.managed_pages}"
+                    )
+                break
+        if self.free_pages <= 0:
+            self.vmstat.oom_kills += 1
+            raise OutOfMemoryError(
+                f"allocation failed: free={self.free_pages}, "
+                f"resident={self.resident_pages}/{self.managed_pages}"
+            )
+
+    def _check_watermarks(self) -> None:
+        if self.below_low and self.kswapd_waker is not None:
+            self.kswapd_waker()
+
+    # ------------------------------------------------------------------
+    # Reclaim
+    # ------------------------------------------------------------------
+    def shrink(self, nr_to_reclaim: int, direct: bool = False) -> ReclaimResult:
+        """Reclaim up to ``nr_to_reclaim`` pages from the inactive lists.
+
+        Balances anon vs file proportionally to list sizes (with anon
+        capped by ZRAM room), ages the active lists when the inactive
+        lists run dry, and honours the policy protect hook.
+        """
+        result = ReclaimResult()
+        remaining = nr_to_reclaim
+        rounds = 0
+        while remaining > 0 and rounds < 4:
+            rounds += 1
+            progress = self._shrink_round(remaining, result)
+            if progress == 0:
+                break
+            remaining -= progress
+        if direct:
+            self.vmstat.pgsteal_direct += result.reclaimed
+        else:
+            self.vmstat.pgsteal_kswapd += result.reclaimed
+        return result
+
+    def _shrink_round(self, target: int, result: ReclaimResult) -> int:
+        # Refill inactive lists by aging active ones when needed.
+        for inactive, active in (
+            (LruKind.INACTIVE_ANON, LruKind.ACTIVE_ANON),
+            (LruKind.INACTIVE_FILE, LruKind.ACTIVE_FILE),
+        ):
+            if self.lru.needs_aging(inactive):
+                aged = self.lru.age_active(active, budget=target * 2)
+                result.scanned += aged
+                result.cpu_ms += aged * SCAN_COST_MS
+
+        anon_avail = self.lru.inactive_anon
+        file_avail = self.lru.inactive_file
+        total_avail = anon_avail + file_avail
+        if total_avail == 0:
+            return 0
+        anon_share = int(round(target * anon_avail / total_avail))
+        if not self.zram.has_room(1):
+            anon_share = 0
+            result.zram_full = True
+        anon_share = min(anon_share, self.zram.free_slots)
+        file_share = target - anon_share
+
+        reclaimed = 0
+        reclaimed += self._evict_from(LruKind.INACTIVE_ANON, anon_share, result)
+        reclaimed += self._evict_from(LruKind.INACTIVE_FILE, file_share, result)
+        return reclaimed
+
+    def _evict_from(self, kind: LruKind, count: int, result: ReclaimResult) -> int:
+        if count <= 0:
+            return 0
+        victims = self.lru.scan_inactive(
+            kind, budget=count * 2, protect=self.reclaim_protect
+        )
+        # scan_inactive removes victims from the list; only `count` of
+        # them are evicted this round, the rest rotate back (still cold).
+        for extra in victims[count:]:
+            self.lru.add(extra, active=False)
+        victims = victims[:count]
+        result.scanned += count * 2
+        result.cpu_ms += count * 2 * SCAN_COST_MS
+        evicted = 0
+        now = self.clock()
+        dirty_batch = 0
+        for index, page in enumerate(victims):
+            was_dirty = page.is_file and page.dirty
+            try:
+                cost = self._evict_page(page, now)
+            except ZramFullError:
+                # Put this and the remaining victims back; anon reclaim
+                # is over for this round.
+                for leftover in victims[index:]:
+                    self.lru.add(leftover, active=True)
+                result.zram_full = True
+                break
+            result.cpu_ms += cost
+            if was_dirty:
+                dirty_batch += 1
+            evicted += 1
+        if dirty_batch:
+            # Write-back is asynchronous: it occupies the flash queue but
+            # the reclaiming context does not wait for completion.
+            self.flash.write(now, dirty_batch)
+            self.vmstat.fileback_writeout += dirty_batch
+        result.reclaimed += evicted
+        return evicted
+
+    def _evict_page(self, page: Page, now: float) -> float:
+        """Evict one page already removed from the LRU.  Returns CPU ms."""
+        cost = EVICT_COST_MS
+        if page.is_anon:
+            cost += self.zram.store(page.page_id)  # may raise ZramFullError
+            self.vmstat.pswpout += 1
+            self.vmstat.pgsteal_anon += 1
+        else:
+            self.vmstat.pgsteal_file += 1
+            if page.dirty:
+                self.vmstat.pgsteal_file_dirty += 1
+        page.present = False
+        page.referenced = False
+        self.resident_pages -= 1
+        self.workingset.record_eviction(page)
+        if page.is_file:
+            page.dirty = False
+        return cost

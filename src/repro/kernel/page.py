@@ -1,0 +1,119 @@
+"""Pages and page flags.
+
+Two reclaimable page kinds exist, mirroring §2.1 of the paper:
+
+* **Anonymous pages** hold runtime data.  On reclaim they are compressed
+  into ZRAM.  For the Figure 4 categorization study each anonymous page
+  is further tagged with the heap it belongs to (Java heap vs native
+  heap).
+* **File-backed pages** map segments of files on flash.  Dirty ones are
+  written back on reclaim; clean ones are dropped and re-read on
+  refault.
+
+A page object models one *virtual* page of one process; ``present``
+plays the role of the PTE ``_PAGE_PRESENT`` bit (bit-0, §4.2.1).  When a
+page is evicted, :class:`~repro.kernel.workingset.WorkingSet` stores a
+shadow entry in ``shadow_eviction_clock`` so the subsequent fault can be
+recognised as a refault.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+_page_ids = itertools.count(1)
+
+
+class PageKind(enum.Enum):
+    ANON = "anon"
+    FILE = "file"
+
+
+class HeapKind(enum.Enum):
+    """Sub-categorisation of anonymous pages (paper §3.2 / Figure 4)."""
+
+    NONE = "none"  # file-backed pages
+    JAVA = "java"  # ART-managed Java heap
+    NATIVE = "native"  # malloc/free native heap
+
+
+class Page:
+    """One virtual page of one process."""
+
+    __slots__ = (
+        "page_id",
+        "kind",
+        "heap",
+        "owner",
+        "present",
+        "dirty",
+        "referenced",
+        "lru",
+        "shadow_eviction_clock",
+        "evictions",
+        "refaults",
+        "hot",
+    )
+
+    def __init__(
+        self,
+        kind: PageKind,
+        owner: object,
+        heap: HeapKind = HeapKind.NONE,
+        dirty: bool = False,
+        hot: bool = False,
+    ):
+        if kind is PageKind.FILE and heap is not HeapKind.NONE:
+            raise ValueError("file-backed pages have no heap kind")
+        if kind is PageKind.ANON and heap is HeapKind.NONE:
+            raise ValueError("anonymous pages must be tagged JAVA or NATIVE")
+        self.page_id: int = next(_page_ids)
+        self.kind = kind
+        self.heap = heap
+        self.owner = owner  # the owning Process (duck-typed)
+        self.present: bool = False  # _PAGE_PRESENT; set on first allocation
+        self.dirty: bool = dirty
+        self.referenced: bool = False  # PTE young bit
+        self.lru: Optional[object] = None  # LruKind while on a list
+        # Shadow entry: eviction clock recorded by the workingset code,
+        # or None when the page has never been evicted / was refaulted.
+        self.shadow_eviction_clock: Optional[int] = None
+        self.evictions: int = 0
+        self.refaults: int = 0
+        # Hot pages belong to the nucleus of the owner's working set and
+        # are touched far more often (drives LRU behaviour).
+        self.hot: bool = hot
+
+    @property
+    def is_anon(self) -> bool:
+        return self.kind is PageKind.ANON
+
+    @property
+    def is_file(self) -> bool:
+        return self.kind is PageKind.FILE
+
+    @property
+    def was_evicted(self) -> bool:
+        """True when a shadow entry exists (next fault is a refault)."""
+        return self.shadow_eviction_clock is not None
+
+    def mark_accessed(self, write: bool = False) -> None:
+        """Record a CPU access to a present page (sets the young bit)."""
+        self.referenced = True
+        if write and self.is_file:
+            self.dirty = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, on in (
+                ("P", self.present),
+                ("D", self.dirty),
+                ("R", self.referenced),
+                ("S", self.was_evicted),
+            )
+            if on
+        )
+        return f"<Page {self.page_id} {self.kind.value}/{self.heap.value} {flags}>"

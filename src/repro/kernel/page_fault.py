@@ -1,0 +1,127 @@
+"""The page-fault path (§2.1, §4.2.1).
+
+A fault on a non-present page either:
+
+* finds a shadow entry → **refault**: the page was reclaimed earlier and
+  is now demanded back.  Anonymous pages are decompressed from ZRAM
+  (CPU cost); file pages are re-read from flash (synchronous block I/O,
+  subject to queue congestion).  The refault event is published on the
+  workingset bus, where RPF listens.
+* finds no shadow entry → first touch (demand paging / new allocation).
+
+Either way the page must be made resident, which can itself trigger
+direct reclaim — the amplification loop behind refault-induced memory
+thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kernel.mm import MemoryManager, OutOfMemoryError
+from repro.kernel.page import HeapKind, Page
+from repro.kernel.workingset import RefaultEvent
+
+
+@dataclass
+class FaultOutcome:
+    """What one fault cost the faulting task.
+
+    CPU-side costs (``service_ms``: trap overhead, ZRAM decompression,
+    direct-reclaim stalls) accumulate across faults, while flash reads
+    are represented by the absolute completion time of the bio
+    (``io_complete_at``): a task faulting through a batch of pages
+    blocks until the *last* read completes, it does not pay each
+    read's queue wait separately.
+    """
+
+    service_ms: float = 0.0  # CPU-side cost
+    io_complete_at: Optional[float] = None  # absolute bio completion time
+    major: bool = False
+    refault: Optional[RefaultEvent] = None
+    direct_reclaims: int = 0
+
+    def blocking_ms(self, now: float) -> float:
+        """Total time the faulting task is off-CPU for this fault alone."""
+        io_wait = max(0.0, (self.io_complete_at or now) - now)
+        return self.service_ms + io_wait
+
+
+class PageFaultHandler:
+    """Resolves faults against the memory manager and storage devices."""
+
+    # Fixed fault-entry overhead (trap, PTE walk), in ms.
+    FAULT_OVERHEAD_MS = 0.002
+
+    def __init__(self, mm: MemoryManager):
+        self.mm = mm
+
+    def handle(
+        self,
+        page: Page,
+        pid: int,
+        uid: int,
+        foreground: bool,
+        write: bool = False,
+    ) -> FaultOutcome:
+        """Fault ``page`` in on behalf of process ``pid``/``uid``.
+
+        Raises :class:`OutOfMemoryError` if memory cannot be found even
+        with direct reclaim (the Android layer then runs the LMK).
+        """
+        if page.present:
+            # Spurious fault (racing thread already resolved it).
+            page.mark_accessed(write=write)
+            return FaultOutcome(service_ms=self.FAULT_OVERHEAD_MS)
+
+        now = self.mm.clock()
+        outcome = FaultOutcome(service_ms=self.FAULT_OVERHEAD_MS)
+        self.mm.vmstat.pgfault += 1
+
+        refault = self.mm.workingset.check_refault(
+            now_ms=now, page=page, pid=pid, uid=uid, foreground=foreground
+        )
+        if refault is not None:
+            outcome.refault = refault
+            outcome.major = True
+            self._account_refault(page, refault)
+            if page.is_anon:
+                self.mm.vmstat.pswpin += 1
+                outcome.service_ms += self.mm.zram.load(page.page_id)
+            else:
+                bio = self.mm.flash.read(now, 1, owner_pid=pid)
+                outcome.io_complete_at = bio.complete_time
+                self.mm.vmstat.filein += 1
+        # Fresh file page (first touch) also needs a flash read.
+        elif page.is_file:
+            outcome.major = True
+            bio = self.mm.flash.read(now, 1, owner_pid=pid)
+            outcome.io_complete_at = bio.complete_time
+            self.mm.vmstat.filein += 1
+        if outcome.major:
+            self.mm.vmstat.pgmajfault += 1
+
+        # Refaulted pages re-enter on the active list (the kernel's
+        # workingset_refault promotion); first-touch pages go inactive.
+        alloc = self.mm.make_resident(page, active=refault is not None)
+        outcome.service_ms += alloc.stall_ms
+        outcome.direct_reclaims += alloc.direct_reclaims
+        page.mark_accessed(write=write)
+        return outcome
+
+    def _account_refault(self, page: Page, refault: RefaultEvent) -> None:
+        stats = self.mm.vmstat
+        stats.refault_total += 1
+        if refault.foreground:
+            stats.refault_fg += 1
+        else:
+            stats.refault_bg += 1
+        if page.is_anon:
+            stats.refault_anon += 1
+            if page.heap is HeapKind.JAVA:
+                stats.refault_java_heap += 1
+            else:
+                stats.refault_native_heap += 1
+        else:
+            stats.refault_file += 1

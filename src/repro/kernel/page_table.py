@@ -1,0 +1,92 @@
+"""Per-process page tables.
+
+A :class:`PageTable` owns the process's pages grouped by segment.  The
+fault handler consults ``page.present`` (the ``_PAGE_PRESENT`` analogue)
+and, as in the kernel, the page-fault path can resolve the faulting
+process directly from the table that the virtual address belongs to —
+this is how RPF attributes a refault to a process (§4.2.1, "Process
+selection").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.kernel.page import HeapKind, Page, PageKind
+
+
+class Segment:
+    """A named group of pages (java heap, native heap, file mappings)."""
+
+    __slots__ = ("name", "pages")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.pages: List[Page] = []
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def resident(self) -> int:
+        return sum(1 for page in self.pages if page.present)
+
+
+class PageTable:
+    """All virtual pages of one process, grouped into segments."""
+
+    JAVA_HEAP = "java_heap"
+    NATIVE_HEAP = "native_heap"
+    FILE_MAP = "file_map"
+
+    def __init__(self, owner: object):
+        self.owner = owner
+        self.segments: Dict[str, Segment] = {
+            self.JAVA_HEAP: Segment(self.JAVA_HEAP),
+            self.NATIVE_HEAP: Segment(self.NATIVE_HEAP),
+            self.FILE_MAP: Segment(self.FILE_MAP),
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build_page(
+        self, kind: PageKind, heap: HeapKind, dirty: bool = False, hot: bool = False
+    ) -> Page:
+        """Create a page owned by this table's process and register it."""
+        page = Page(kind=kind, owner=self.owner, heap=heap, dirty=dirty, hot=hot)
+        self.segment_for(page).pages.append(page)
+        return page
+
+    def segment_for(self, page: Page) -> Segment:
+        if page.is_file:
+            return self.segments[self.FILE_MAP]
+        if page.heap is HeapKind.JAVA:
+            return self.segments[self.JAVA_HEAP]
+        return self.segments[self.NATIVE_HEAP]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def all_pages(self) -> Iterator[Page]:
+        for segment in self.segments.values():
+            yield from segment.pages
+
+    def pages_of(self, segment_name: str) -> List[Page]:
+        return self.segments[segment_name].pages
+
+    @property
+    def total_pages(self) -> int:
+        return sum(len(segment) for segment in self.segments.values())
+
+    @property
+    def resident_pages(self) -> int:
+        return sum(segment.resident() for segment in self.segments.values())
+
+    @property
+    def evicted_pages(self) -> int:
+        return sum(
+            1 for page in self.all_pages() if not page.present and page.was_evicted
+        )
+
+    def resident_by_segment(self) -> Dict[str, int]:
+        return {name: segment.resident() for name, segment in self.segments.items()}

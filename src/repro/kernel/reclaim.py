@@ -1,0 +1,93 @@
+"""kswapd: the background reclaim kernel thread (§2.1).
+
+kswapd is woken when free memory falls below the **low** watermark and
+keeps reclaiming until free memory rises above the **high** watermark.
+It runs as a schedulable kernel task: the CPU scheduler grants it
+quanta, and within each quantum it reclaims as many pages as its CPU
+budget allows (scanning + ZRAM compression are real CPU work, which is
+part of the interference the paper measures).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.kernel.mm import (
+    MemoryManager,
+    PAGE_RECLAIM_COST_EST_MS,
+    ReclaimResult,
+)
+
+
+class Kswapd:
+    """Watermark-driven background reclaimer."""
+
+    # Upper bound on pages reclaimed per scheduling quantum, independent
+    # of CPU budget (mirrors SWAP_CLUSTER_MAX-style batching).
+    MAX_BATCH = 64
+
+    def __init__(self, mm: MemoryManager):
+        self.mm = mm
+        self.active: bool = False
+        self.wakeups: int = 0
+        self.total_reclaimed: int = 0
+        self.total_cpu_ms: float = 0.0
+        # Hook for the system layer: called when kswapd goes to sleep.
+        self.on_sleep: Optional[Callable[[], None]] = None
+        # Hook called on wakeup so the scheduler can mark the kswapd
+        # task runnable.
+        self.on_wake: Optional[Callable[[], None]] = None
+
+    def wake(self) -> None:
+        """Wake kswapd (called by the MM when free < low watermark)."""
+        if self.active:
+            return
+        self.active = True
+        self.wakeups += 1
+        self.mm.vmstat.kswapd_wakeups += 1
+        if self.on_wake is not None:
+            self.on_wake()
+
+    @property
+    def should_run(self) -> bool:
+        return self.active and self.mm.below_high
+
+    def run_quantum(self, cpu_budget_ms: float) -> ReclaimResult:
+        """Reclaim within one scheduling quantum.
+
+        Returns the reclaim result; ``result.cpu_ms`` is the CPU time
+        actually consumed (<= budget, approximately).  When the high
+        watermark is restored kswapd goes back to sleep.
+        """
+        result = ReclaimResult()
+        if not self.active:
+            return result
+        budget = cpu_budget_ms
+        dry_rounds = 0
+        while budget > 0 and self.mm.below_high:
+            # Size the batch to the remaining CPU budget: kswapd is one
+            # thread and cannot reclaim faster than the per-page cost
+            # allows within its quantum.
+            affordable = max(4, int(budget / PAGE_RECLAIM_COST_EST_MS))
+            deficit = max(4, self.mm.spec.high_watermark_pages - self.mm.free_pages)
+            batch = min(self.MAX_BATCH, affordable, deficit)
+            round_result = self.mm.shrink(batch, direct=False)
+            result.merge(round_result)
+            budget -= max(round_result.cpu_ms, 0.05)
+            if round_result.reclaimed == 0:
+                # Zero victims this round (everything scanned was
+                # referenced and got a second chance).  Raise the scan
+                # priority a couple of times before giving up, as the
+                # kernel's priority-escalation loop does.
+                dry_rounds += 1
+                if dry_rounds >= 3:
+                    break
+            else:
+                dry_rounds = 0
+        self.total_reclaimed += result.reclaimed
+        self.total_cpu_ms += result.cpu_ms
+        if not self.mm.below_high or dry_rounds >= 3:
+            self.active = False
+            if self.on_sleep is not None:
+                self.on_sleep()
+        return result

@@ -1,0 +1,90 @@
+"""Working-set shadow entries and refault tracking (§2.1, §4.2.1).
+
+When a page is evicted the kernel leaves a *shadow entry* behind,
+recording the eviction "clock" (a counter of evictions so far).  When a
+later fault hits that page, the difference between the current clock and
+the recorded one is the **refault distance** — how many other pages were
+evicted in between.  The paper's RPF uses exactly this interface
+(``shadow_entry``) to detect refault events in near real time; the
+:class:`WorkingSet` here exposes the same event stream via observer
+callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.kernel.page import Page
+
+
+@dataclass(frozen=True)
+class RefaultEvent:
+    """One detected refault, delivered to observers (e.g. RPF)."""
+
+    time_ms: float
+    page: Page
+    pid: int
+    uid: int
+    foreground: bool
+    refault_distance: int
+
+    @property
+    def background(self) -> bool:
+        return not self.foreground
+
+
+class WorkingSet:
+    """Shadow-entry bookkeeping plus the refault-event bus."""
+
+    def __init__(self) -> None:
+        self.eviction_clock: int = 0
+        self._observers: List[Callable[[RefaultEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # Observer registration (RPF subscribes here)
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[RefaultEvent], None]) -> None:
+        self._observers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[RefaultEvent], None]) -> None:
+        self._observers.remove(callback)
+
+    # ------------------------------------------------------------------
+    # Eviction / fault hooks called by the MM layer
+    # ------------------------------------------------------------------
+    def record_eviction(self, page: Page) -> None:
+        """Install a shadow entry for a page leaving memory."""
+        self.eviction_clock += 1
+        page.shadow_eviction_clock = self.eviction_clock
+        page.evictions += 1
+
+    def check_refault(
+        self, now_ms: float, page: Page, pid: int, uid: int, foreground: bool
+    ) -> Optional[RefaultEvent]:
+        """Resolve a fault: if a shadow entry exists this is a refault.
+
+        Clears the shadow entry, computes the refault distance, notifies
+        observers, and returns the event (or ``None`` for a first-touch
+        fault).
+        """
+        if page.shadow_eviction_clock is None:
+            return None
+        distance = self.eviction_clock - page.shadow_eviction_clock
+        page.shadow_eviction_clock = None
+        page.refaults += 1
+        event = RefaultEvent(
+            time_ms=now_ms,
+            page=page,
+            pid=pid,
+            uid=uid,
+            foreground=foreground,
+            refault_distance=distance,
+        )
+        for observer in list(self._observers):
+            observer(event)
+        return event
+
+    def drop_shadow(self, page: Page) -> None:
+        """Forget a shadow entry (the owning process died)."""
+        page.shadow_eviction_clock = None

@@ -1,0 +1,25 @@
+"""Measurement utilities shared by experiments and benchmarks.
+
+Re-exports the per-subsystem stat carriers and provides small, typed
+helpers for summary statistics and plain-text table rendering (the
+benchmarks print paper-style tables through these).
+"""
+
+from repro.android.render import FrameStats
+from repro.kernel.vmstat import VmStat
+from repro.metrics.stats import mean, percentile, stddev, summarize
+from repro.metrics.tables import render_table
+from repro.sched.cfs import CpuStats
+from repro.storage.block import IoStats
+
+__all__ = [
+    "FrameStats",
+    "VmStat",
+    "CpuStats",
+    "IoStats",
+    "mean",
+    "percentile",
+    "stddev",
+    "summarize",
+    "render_table",
+]

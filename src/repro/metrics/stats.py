@@ -1,0 +1,49 @@
+"""Small summary-statistics helpers (no external dependencies)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile, ``pct`` in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """mean / std / min / p50 / p90 / max in one dict."""
+    return {
+        "mean": mean(values),
+        "std": stddev(values),
+        "min": min(values) if values else 0.0,
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "max": max(values) if values else 0.0,
+    }

@@ -1,0 +1,27 @@
+"""Memory/process management policies: the paper's four evaluated schemes.
+
+* ``lru_cfs`` — the stock kernel baseline (LRU reclaim + CFS).
+* ``ucsg`` — user-centric scheduling: FG tasks get priority (DAC'14).
+* ``acclaim`` — FG-aware eviction: BG pages reclaimed preferentially
+  (USENIX ATC'20).
+* ``ice`` — the paper's contribution (re-exported from
+  :mod:`repro.core`): refault-driven freezing + memory-aware thawing.
+* ``power_freezer`` — power-manager-style freezing for Table 5.
+"""
+
+from repro.policies.base import ManagementPolicy
+from repro.policies.lru_cfs import LruCfsPolicy
+from repro.policies.ucsg import UcsgPolicy
+from repro.policies.acclaim import AcclaimPolicy
+from repro.policies.power_freezer import PowerFreezerPolicy
+from repro.policies.registry import available_policies, make_policy
+
+__all__ = [
+    "ManagementPolicy",
+    "LruCfsPolicy",
+    "UcsgPolicy",
+    "AcclaimPolicy",
+    "PowerFreezerPolicy",
+    "available_policies",
+    "make_policy",
+]

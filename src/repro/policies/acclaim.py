@@ -1,0 +1,31 @@
+"""Acclaim: foreground-aware memory reclaim (USENIX ATC'20, §5.2).
+
+Acclaim's FAE (foreground-aware eviction) protects pages belonging to
+the foreground application during reclaim: background pages are
+reclaimed preferentially *even when their activity is higher than some
+foreground pages*.  This effectively eliminates FG refaults — and, as
+the paper shows, can *increase* BG refaults (Figure 8's S-C on Pixel3
+regression, §6.1), because background apps lose pages they still
+touch.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.page import Page
+from repro.policies.base import ManagementPolicy
+
+
+class AcclaimPolicy(ManagementPolicy):
+    """FG-aware, size-sensitive reclaim (FAE component)."""
+
+    name = "Acclaim"
+    description = "foreground pages protected from reclaim; BG pages evicted first"
+
+    def reclaim_protect(self, page: Page) -> bool:
+        """Shield FG pages from the reclaim scan."""
+        owner = page.owner
+        app = getattr(owner, "app", None)
+        if app is None:
+            return False
+        fg = self.system.foreground_app
+        return app is fg

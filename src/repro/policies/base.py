@@ -1,0 +1,76 @@
+"""Policy interface: the hooks a management scheme can install.
+
+A policy plugs into three substrate seams:
+
+* **Reclaim** — ``reclaim_protect(page)`` lets a policy veto eviction of
+  a page during the LRU scan (Acclaim protects FG pages).
+* **Scheduling** — ``sched_pick_key(task)`` reorders run-queue selection
+  (UCSG boosts FG tasks).
+* **Events** — foreground switches, app starts/kills, launch
+  preparation (Ice's thaw-on-launch returns a latency), and the
+  refault-event bus (Ice's RPF subscribes there via its own wiring).
+
+The base class installs nothing, which *is* the LRU+CFS baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.android.app import Application
+from repro.kernel.page import Page
+from repro.sched.task import Task
+
+
+class ManagementPolicy:
+    """Base policy: stock LRU reclaim + stock CFS scheduling."""
+
+    name = "base"
+    description = "no-op policy hooks"
+
+    def __init__(self) -> None:
+        self.system = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, system) -> None:
+        """Install hooks into a freshly-built system.  Subclasses that
+        override must call ``super().attach(system)`` first."""
+        self.system = system
+
+    def detach(self) -> None:
+        self.system = None
+
+    # ------------------------------------------------------------------
+    # Substrate hooks (overridden by concrete policies)
+    # ------------------------------------------------------------------
+    def reclaim_protect(self, page: Page) -> bool:
+        """Return True to shield ``page`` from this reclaim scan."""
+        return False
+
+    def sched_pick_key(self, task: Task) -> float:
+        """Run-queue ordering key (smaller runs first)."""
+        return task.vruntime
+
+    # ------------------------------------------------------------------
+    # Framework events
+    # ------------------------------------------------------------------
+    def before_launch(self, app: Application) -> float:
+        """Prepare ``app`` for launching; returns extra latency in ms
+        (Ice thaws frozen processes here)."""
+        return 0.0
+
+    def on_foreground_change(
+        self, app: Application, previous: Optional[Application]
+    ) -> None:
+        """A new application took the foreground."""
+
+    def on_app_started(self, app: Application) -> None:
+        """Processes of ``app`` were just spawned (cold launch)."""
+
+    def on_app_killed(self, app: Application) -> None:
+        """``app`` was killed (LMK or explicit)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,19 @@
+"""LRU + CFS: the stock-kernel baseline (§5.2).
+
+LRU is the default reclaim algorithm (inactive pages are reclaimed in
+second-chance order) and CFS treats foreground and background processes
+fairly.  Both are exactly the substrate defaults, so this policy
+installs no hooks — it exists to make the baseline explicit and
+nameable in experiment configurations.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ManagementPolicy
+
+
+class LruCfsPolicy(ManagementPolicy):
+    """The unmodified Linux/Android memory and process management."""
+
+    name = "LRU+CFS"
+    description = "stock kernel LRU reclaim + completely fair scheduler"

@@ -1,0 +1,116 @@
+"""Power-manager-style process freezing (§6.2.1, Table 5).
+
+Commercial smartphones ship freezing features in their *power*
+managers (MeiZu Flyme smart freeze, Nubia's patent, SuperFreezZ).
+These are energy-oriented, not memory-oriented:
+
+* targets are chosen by recent CPU (energy) consumption, not by
+  refault behaviour;
+* the freeze/thaw cycle is fixed — intensity does not react to memory
+  pressure;
+* freezing is applied even when memory pressure is low;
+* many vendors disable freezing entirely while the device charges.
+
+The paper shows this helps (reclaims −22.4%, refaults −33.5% vs the
+baseline) but is clearly weaker than Ice's memory-aware design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.android.app import Application, AppState
+from repro.policies.base import ManagementPolicy
+
+
+class PowerFreezerPolicy(ManagementPolicy):
+    """Fixed-cycle, energy-driven BG app freezing."""
+
+    name = "PowerManager"
+    description = "energy-oriented fixed-cycle background freezing"
+
+    # Fixed heartbeat: freeze 15 s, thaw 5 s — memory-oblivious.
+    FREEZE_S = 15.0
+    THAW_S = 5.0
+    # An app is "energy hungry" when its tasks consumed more than this
+    # much CPU during the previous observation cycle (ms): only the
+    # heavy consumers are frozen, which is why the paper finds the
+    # power manager's refault inhibition clearly weaker than Ice's.
+    ENERGY_THRESHOLD_CPU_MS = 30.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.frozen_uids: Set[int] = set()
+        self._cpu_snapshot: Dict[int, float] = {}
+        self.freeze_cycles = 0
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        system.sim.schedule(self.THAW_S * 1000.0, self._begin_freeze)
+
+    # ------------------------------------------------------------------
+    def _app_cpu_ms(self, app: Application) -> float:
+        total = 0.0
+        for process in app.processes:
+            for task in process.tasks:
+                total += task.cpu_ms_total
+        return total
+
+    def _begin_freeze(self) -> None:
+        system = self.system
+        if system is None:
+            return
+        if system.charging:
+            # Vendors skip freezing on the charger; try again next cycle.
+            self._thaw_all()
+            system.sim.schedule(
+                (self.FREEZE_S + self.THAW_S) * 1000.0, self._begin_freeze
+            )
+            return
+        self.freeze_cycles += 1
+        for app in system.apps.values():
+            if not app.alive or app.state is not AppState.CACHED:
+                continue
+            if app.perceptible:
+                continue
+            used = self._app_cpu_ms(app) - self._cpu_snapshot.get(app.uid, 0.0)
+            if used < self.ENERGY_THRESHOLD_CPU_MS:
+                continue  # not energy-hungry: left alone
+            self.frozen_uids.add(app.uid)
+            for pid in app.pids:
+                system.freezer.freeze(pid)
+        system.sim.schedule(self.FREEZE_S * 1000.0, self._begin_thaw)
+
+    def _begin_thaw(self) -> None:
+        system = self.system
+        if system is None:
+            return
+        self._thaw_all()
+        # Snapshot CPU so the next cycle measures fresh consumption.
+        for app in system.apps.values():
+            if app.alive:
+                self._cpu_snapshot[app.uid] = self._app_cpu_ms(app)
+        system.sim.schedule(self.THAW_S * 1000.0, self._begin_freeze)
+
+    def _thaw_all(self) -> None:
+        system = self.system
+        for uid in list(self.frozen_uids):
+            app = next((a for a in system.apps.values() if a.uid == uid), None)
+            if app is not None:
+                for pid in app.pids:
+                    system.freezer.thaw(pid)
+        self.frozen_uids.clear()
+
+    # ------------------------------------------------------------------
+    def before_launch(self, app: Application) -> float:
+        """Power managers also thaw before display."""
+        latency = 0.0
+        if app.alive and app.uid in self.frozen_uids:
+            for pid in app.pids:
+                latency += self.system.freezer.thaw(pid)
+            self.frozen_uids.discard(app.uid)
+        return latency
+
+    def on_app_killed(self, app: Application) -> None:
+        self.frozen_uids.discard(app.uid)
+        self._cpu_snapshot.pop(app.uid, None)

@@ -1,0 +1,42 @@
+"""Policy registry: name → factory for all evaluated schemes."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.policies.base import ManagementPolicy
+from repro.policies.lru_cfs import LruCfsPolicy
+from repro.policies.ucsg import UcsgPolicy
+from repro.policies.acclaim import AcclaimPolicy
+from repro.policies.power_freezer import PowerFreezerPolicy
+
+
+def _ice_factory() -> ManagementPolicy:
+    # Imported lazily to avoid a circular import at package load time.
+    from repro.core.ice import IcePolicy
+
+    return IcePolicy()
+
+
+_REGISTRY: Dict[str, Callable[[], ManagementPolicy]] = {
+    "LRU+CFS": LruCfsPolicy,
+    "UCSG": UcsgPolicy,
+    "Acclaim": AcclaimPolicy,
+    "Ice": _ice_factory,
+    "PowerManager": PowerFreezerPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Names accepted by :func:`make_policy`."""
+    return list(_REGISTRY)
+
+
+def make_policy(name: str) -> ManagementPolicy:
+    """Instantiate a fresh policy by its paper name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    return factory()

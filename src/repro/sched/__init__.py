@@ -1,0 +1,29 @@
+"""CPU substrate: tasks, CFS run-queues, multicore quantum scheduling.
+
+The baseline scheduler is CFS ("completely fair scheduler", §5.2):
+foreground and background tasks are treated fairly, picked by minimum
+virtual runtime.  Policies hook task selection (UCSG boosts foreground
+tasks) and the freezer removes frozen tasks from scheduling entirely.
+
+Scheduling advances in fixed quanta (default 4 ms).  Within a quantum a
+task's *body* executes: it consumes CPU, touches memory pages (possibly
+faulting and blocking on I/O), or — for kswapd — reclaims pages.
+"""
+
+from repro.sched.task import Task, TaskBody, TaskState, WorkItem
+from repro.sched.cfs import CfsScheduler, CpuStats
+from repro.sched.priorities import (
+    NICE_DEFAULT,
+    nice_to_weight,
+)
+
+__all__ = [
+    "Task",
+    "TaskBody",
+    "TaskState",
+    "WorkItem",
+    "CfsScheduler",
+    "CpuStats",
+    "NICE_DEFAULT",
+    "nice_to_weight",
+]

@@ -1,0 +1,16 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the clock, event queue, and seeded random-number
+streams that every other subsystem in the reproduction builds on.  The
+engine is a classic event-heap simulator: callbacks are scheduled at
+absolute or relative simulated times (milliseconds) and executed in
+timestamp order.  Determinism is guaranteed by (a) a monotonically
+increasing tie-break sequence number and (b) namespaced RNG streams
+(:class:`~repro.sim.rng.RngStream`) so that adding a new component never
+perturbs the random draws of existing ones.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngRegistry, RngStream
+
+__all__ = ["Event", "Simulator", "RngRegistry", "RngStream"]

@@ -1,0 +1,193 @@
+"""Discrete-event simulation engine.
+
+Simulated time is measured in **milliseconds** (float).  The engine keeps
+a binary heap of pending :class:`Event` objects ordered by ``(time,
+seq)``; ``seq`` is a monotonically increasing integer that makes the
+execution order of same-timestamp events deterministic (FIFO in
+scheduling order).
+
+Typical usage::
+
+    sim = Simulator()
+    sim.schedule(10.0, lambda: print("ten ms in"))
+    sim.every(16.67, on_vsync)          # periodic callback
+    sim.run_until(1_000.0)              # advance one simulated second
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the simulation engine."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be
+    cancelled with :meth:`Simulator.cancel` (cancellation is lazy: the
+    event stays in the heap but is skipped when popped).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"<Event t={self.time:.3f} {name} {state}>"
+
+
+class PeriodicHandle:
+    """Handle for a periodic callback registered with :meth:`Simulator.every`.
+
+    Calling :meth:`stop` prevents any further firings.
+    """
+
+    __slots__ = ("stopped", "_current")
+
+    def __init__(self) -> None:
+        self.stopped = False
+        self._current: Optional[Event] = None
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._current is not None:
+            self._current.cancelled = True
+            self._current = None
+
+
+class Simulator:
+    """Event-heap simulator with a millisecond clock starting at zero."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback at
+        the current timestamp but strictly after any event already
+        scheduled for that timestamp.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event.  Cancelling twice is harmless."""
+        event.cancelled = True
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        first_delay: Optional[float] = None,
+    ) -> PeriodicHandle:
+        """Run ``fn(*args)`` every ``interval`` ms until stopped.
+
+        The first firing happens after ``first_delay`` ms (defaults to
+        ``interval``).  The callback may itself stop the handle.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        handle = PeriodicHandle()
+
+        def tick() -> None:
+            if handle.stopped:
+                return
+            fn(*args)
+            if not handle.stopped:
+                handle._current = self.schedule(interval, tick)
+
+        handle._current = self.schedule(
+            interval if first_delay is None else first_delay, tick
+        )
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Execute all events up to and including simulated ``time``.
+
+        The clock is left at exactly ``time`` even if the last event
+        fired earlier, so back-to-back ``run_until`` calls tile cleanly.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot run backwards (now={self.now}, requested={time})"
+            )
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+            self.now = time
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event heap drains (bounded by ``max_events``)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+
+    def pending_count(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)

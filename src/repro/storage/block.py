@@ -1,0 +1,139 @@
+"""Block layer: bio requests and a FIFO device queue.
+
+The kernel transfers reclaimed pages as ``bio`` instances (in-flight
+block-I/O requests, §2.1).  We model each device as a single-server FIFO
+queue characterised by a per-page service latency: a request issued at
+time ``t`` completes at ``max(t, busy_until) + pages * latency``.  This
+captures the congestion effect central to the paper — background refault
+storms lengthen the queue and delay foreground I/O — without simulating
+the full request lifecycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class IoDirection(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class BioRequest:
+    """An in-flight block I/O request (one or more contiguous pages)."""
+
+    direction: IoDirection
+    pages: int
+    issue_time: float
+    complete_time: float = 0.0
+    owner_pid: Optional[int] = None
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.issue_time
+
+
+@dataclass
+class IoStats:
+    """Cumulative I/O accounting for one device."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    read_pages: int = 0
+    write_pages: int = 0
+    busy_ms: float = 0.0
+    total_wait_ms: float = 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return self.read_requests + self.write_requests
+
+    @property
+    def total_pages(self) -> int:
+        return self.read_pages + self.write_pages
+
+    def record(self, request: BioRequest, service_ms: float, wait_ms: float) -> None:
+        if request.direction is IoDirection.READ:
+            self.read_requests += 1
+            self.read_pages += request.pages
+        else:
+            self.write_requests += 1
+            self.write_pages += request.pages
+        self.busy_ms += service_ms
+        self.total_wait_ms += wait_ms
+
+
+class BlockQueue:
+    """Two-lane device queue: synchronous reads vs async write-back.
+
+    Mobile I/O schedulers prioritise synchronous reads (page faults,
+    launches) over write-back: a read queues FIFO behind other reads and
+    suffers at most :data:`WRITE_INTERFERENCE_CAP_MS` of delay from the
+    write lane (an in-flight flash program blocks reads briefly, but a
+    deep write-back backlog does not starve them).  Writes queue FIFO
+    among themselves and are asynchronous from the caller's view.
+    """
+
+    # Maximum delay the write lane can impose on one read.
+    WRITE_INTERFERENCE_CAP_MS = 12.0
+
+    def __init__(self, name: str, read_ms_per_page: float, write_ms_per_page: float):
+        if read_ms_per_page <= 0 or write_ms_per_page <= 0:
+            raise ValueError("per-page latencies must be positive")
+        self.name = name
+        self.read_ms_per_page = read_ms_per_page
+        self.write_ms_per_page = write_ms_per_page
+        self.read_busy_until: float = 0.0
+        self.write_busy_until: float = 0.0
+        self.stats = IoStats()
+
+    def service_time(self, direction: IoDirection, pages: int) -> float:
+        per_page = (
+            self.read_ms_per_page
+            if direction is IoDirection.READ
+            else self.write_ms_per_page
+        )
+        return per_page * pages
+
+    def submit(
+        self,
+        now: float,
+        direction: IoDirection,
+        pages: int,
+        owner_pid: Optional[int] = None,
+    ) -> BioRequest:
+        """Enqueue a request at simulated time ``now``; returns the bio
+        with its ``complete_time`` filled in."""
+        if pages <= 0:
+            raise ValueError(f"bio must carry at least one page, got {pages}")
+        request = BioRequest(direction=direction, pages=pages, issue_time=now,
+                             owner_pid=owner_pid)
+        service = self.service_time(direction, pages)
+        if direction is IoDirection.READ:
+            write_interference = min(
+                max(0.0, self.write_busy_until - now),
+                self.WRITE_INTERFERENCE_CAP_MS,
+            )
+            start = max(now + write_interference, self.read_busy_until)
+            request.complete_time = start + service
+            self.read_busy_until = request.complete_time
+        else:
+            start = max(now, self.write_busy_until)
+            request.complete_time = start + service
+            self.write_busy_until = request.complete_time
+        self.stats.record(request, service, start - now)
+        return request
+
+    def queue_delay(self, now: float) -> float:
+        """How long a read issued now would wait before service."""
+        write_interference = min(
+            max(0.0, self.write_busy_until - now),
+            self.WRITE_INTERFERENCE_CAP_MS,
+        )
+        return max(write_interference, self.read_busy_until - now, 0.0)
+
+    def reset_stats(self) -> None:
+        self.stats = IoStats()

@@ -1,0 +1,108 @@
+"""ZRAM: compressed in-memory swap device (§2.1).
+
+Reclaimed anonymous pages are compressed and stored on a virtual RAM
+disk.  Two properties matter for the reproduction:
+
+* **Capacity.** The ZRAM *disksize* bounds how many anonymous pages can
+  be swapped out (the paper's ``S^g`` = 512 MB on Pixel3, ``S^h`` =
+  1024 MB on P20).
+* **Pool charge.** Compressed data still lives in DRAM: storing a page
+  only frees ``1 - 1/ratio`` of a page.  The memory manager queries
+  :meth:`pool_pages` and charges it against total memory, so aggressive
+  swapping yields diminishing returns, exactly as on a real device.
+
+Compression and decompression are CPU work performed synchronously by
+the reclaiming / faulting context; their cost is returned to the caller
+for accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class ZramFullError(RuntimeError):
+    """Raised when storing into a ZRAM device whose disksize is exhausted."""
+
+
+class ZramDevice:
+    """Compressed RAM-disk swap target for anonymous pages."""
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        compression_ratio: float = 2.8,
+        compress_ms: float = 0.025,
+        decompress_ms: float = 0.015,
+    ):
+        if capacity_pages <= 0:
+            raise ValueError("zram capacity must be positive")
+        if compression_ratio <= 1.0:
+            raise ValueError("compression ratio must exceed 1.0")
+        self.capacity_pages = capacity_pages
+        self.compression_ratio = compression_ratio
+        self.compress_ms = compress_ms
+        self.decompress_ms = decompress_ms
+        self._slots: Set[int] = set()
+        self.stores: int = 0
+        self.loads: int = 0
+        self.failed_stores: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stored_pages(self) -> int:
+        return len(self._slots)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity_pages - len(self._slots)
+
+    def pool_pages(self) -> float:
+        """DRAM pages consumed by the compressed pool."""
+        return len(self._slots) / self.compression_ratio
+
+    def has_room(self, pages: int = 1) -> bool:
+        return self.free_slots >= pages
+
+    def contains(self, slot_id: int) -> bool:
+        return slot_id in self._slots
+
+    # ------------------------------------------------------------------
+    def store(self, slot_id: int) -> float:
+        """Compress one page into slot ``slot_id``.
+
+        Returns the CPU cost in ms.  Raises :class:`ZramFullError` when
+        the disksize is exhausted (callers fall back to keeping the page
+        or triggering the LMK, as the kernel does).
+        """
+        if slot_id in self._slots:
+            raise ValueError(f"zram slot {slot_id} already occupied")
+        if not self.has_room():
+            self.failed_stores += 1
+            raise ZramFullError(
+                f"zram full: {self.stored_pages}/{self.capacity_pages} slots used"
+            )
+        self._slots.add(slot_id)
+        self.stores += 1
+        return self.compress_ms
+
+    def load(self, slot_id: int) -> float:
+        """Decompress the page in ``slot_id`` back to DRAM; frees the slot.
+
+        Returns the CPU cost in ms.
+        """
+        try:
+            self._slots.remove(slot_id)
+        except KeyError:
+            raise KeyError(f"zram slot {slot_id} is empty") from None
+        self.loads += 1
+        return self.decompress_ms
+
+    def discard(self, slot_id: int) -> None:
+        """Drop a stored page without reading it (process death)."""
+        self._slots.discard(slot_id)
+
+    def reset_stats(self) -> None:
+        self.stores = 0
+        self.loads = 0
+        self.failed_stores = 0

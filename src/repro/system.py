@@ -1,0 +1,302 @@
+"""MobileSystem: the complete simulated device.
+
+Composes every substrate — the event engine, the memory manager with
+kswapd and the freezer, the storage devices, the CFS scheduler, the
+Android framework (ActivityManager, LMK, frame pipeline, framework
+load) — under one management policy.  This is the object experiments
+drive::
+
+    system = MobileSystem(spec=huawei_p20(), policy=IcePolicy(), seed=7)
+    system.install_apps(catalog_apps())
+    record = system.launch("TikTok")
+    system.run_until_complete(record)
+    system.run(seconds=60)
+    print(system.frame_engine.stats.average_fps)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.android.activity_manager import ActivityManager, LaunchRecord
+from repro.android.app import Application, AppState, Process
+from repro.android.lmk import LowMemoryKiller
+from repro.android.render import FrameEngine
+from repro.android.services import FrameworkLoad
+from repro.apps.profiles import AppProfile
+from repro.devices.specs import DeviceSpec, huawei_p20
+from repro.kernel.freezer import Freezer
+from repro.kernel.mm import MemoryManager, OutOfMemoryError
+from repro.kernel.page import Page
+from repro.kernel.page_fault import PageFaultHandler
+from repro.kernel.proc_reclaim import PerProcessReclaim
+from repro.kernel.reclaim import Kswapd
+from repro.sched.cfs import CfsScheduler
+from repro.sched.task import Task, TaskBody, TaskState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.storage.flash import FlashDevice
+from repro.storage.zram import ZramDevice
+
+
+class _KswapdBody(TaskBody):
+    """Task body that lets kswapd reclaim within its CPU quanta."""
+
+    def __init__(self, kswapd: Kswapd):
+        self.kswapd = kswapd
+
+    # kswapd is one thread sharing a busy little cluster with other
+    # kernel housekeeping; its effective reclaim duty cycle is a
+    # fraction of each quantum.  This bounds background reclaim to
+    # mobile-realistic throughput so refault storms genuinely outpace
+    # it — the regime every measurement in the paper lives in.
+    DUTY_MS_PER_QUANTUM = 2.0
+
+    def run(self, task: Task, now: float, budget_ms: float) -> float:
+        result = self.kswapd.run_quantum(min(budget_ms, self.DUTY_MS_PER_QUANTUM))
+        return min(budget_ms, result.cpu_ms)
+
+    def has_work(self, task: Task) -> bool:
+        return self.kswapd.should_run
+
+
+class MobileSystem:
+    """A fully-wired simulated smartphone."""
+
+    def __init__(
+        self,
+        spec: Optional[DeviceSpec] = None,
+        policy=None,
+        seed: int = 42,
+        framework_base_utilization: float = 0.42,
+    ):
+        self.spec = spec or huawei_p20()
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+
+        # --- storage + memory management -------------------------------
+        self.zram = ZramDevice(
+            capacity_pages=self.spec.zram_pages,
+            compression_ratio=self.spec.zram_compression_ratio,
+            compress_ms=self.spec.zram_compress_ms,
+            decompress_ms=self.spec.zram_decompress_ms,
+        )
+        self.flash = FlashDevice(self.spec.storage)
+        self.mm = MemoryManager(
+            self.spec, self.zram, self.flash, clock=lambda: self.sim.now
+        )
+        self.fault_handler = PageFaultHandler(self.mm)
+        self.proc_reclaim = PerProcessReclaim(self.mm)
+        self.kswapd = Kswapd(self.mm)
+        self.mm.kswapd_waker = self.kswapd.wake
+
+        # --- scheduling --------------------------------------------------
+        self.sched = CfsScheduler(cores=self.spec.cores)
+        self.freezer = Freezer()
+        self.freezer.subscribe(self._on_freeze_change)
+        self._kswapd_task = Task(
+            "kswapd0", process=None, nice=0, is_kernel=True,
+            body=_KswapdBody(self.kswapd),
+        )
+        self.sched.add_task(self._kswapd_task)
+        self.kswapd.on_wake = self._wake_kswapd_task
+        self.sim.every(self.sched.quantum_ms, self._sched_tick)
+
+        # --- framework -----------------------------------------------------
+        self.apps: Dict[str, Application] = {}
+        self.activity_manager = ActivityManager(self)
+        self.lmk = LowMemoryKiller(self)
+        self.lmk.start_monitor()
+        self.frame_engine = FrameEngine(self)
+        self.framework = FrameworkLoad(
+            self, base_utilization=framework_base_utilization
+        )
+        self.framework.start()
+        # §3.2 switch: the "idle runtime GC" feature can be disabled to
+        # show GC is not the only refault source.
+        self.idle_gc_disabled = False
+        # Device charging state (the power-manager freezer cares).
+        self.charging = False
+
+        # --- policy ----------------------------------------------------------
+        if policy is None:
+            from repro.policies.lru_cfs import LruCfsPolicy
+
+            policy = LruCfsPolicy()
+        self.policy = policy
+        self.mm.reclaim_protect = self._reclaim_protect
+        self.sched.pick_key = self._sched_key
+        self.sched.is_background = self._is_background_task
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Wiring callbacks
+    # ------------------------------------------------------------------
+    def _sched_tick(self) -> None:
+        self.sched.tick(self.sim.now)
+
+    def _wake_kswapd_task(self) -> None:
+        if self._kswapd_task.state in (TaskState.SLEEPING, TaskState.BLOCKED):
+            self._kswapd_task.state = TaskState.RUNNABLE
+
+    def _on_freeze_change(self, pid: int, frozen: bool) -> None:
+        if frozen:
+            self.sched.freeze_pid(pid)
+        else:
+            self.sched.thaw_pid(pid)
+
+    def _reclaim_protect(self, page: Page) -> bool:
+        return self.policy.reclaim_protect(page)
+
+    def _sched_key(self, task: Task) -> float:
+        return self.policy.sched_pick_key(task)
+
+    def _is_background_task(self, task: Task) -> bool:
+        """Background-app tasks live in the little-cluster cpuset."""
+        process = task.process
+        if process is None:
+            return False
+        return process.app.state is not AppState.FOREGROUND
+
+    # ------------------------------------------------------------------
+    # App management
+    # ------------------------------------------------------------------
+    def install_app(self, profile: AppProfile) -> Application:
+        if profile.package in self.apps:
+            raise ValueError(f"{profile.package} already installed")
+        app = Application(profile)
+        self.apps[profile.package] = app
+        return app
+
+    def install_apps(self, profiles: Iterable[AppProfile]) -> List[Application]:
+        return [self.install_app(profile) for profile in profiles]
+
+    def get_app(self, package: str) -> Application:
+        try:
+            return self.apps[package]
+        except KeyError:
+            raise KeyError(f"app {package!r} not installed") from None
+
+    def launch(self, package: str, **kwargs) -> LaunchRecord:
+        return self.activity_manager.launch(self.get_app(package), **kwargs)
+
+    @property
+    def foreground_app(self) -> Optional[Application]:
+        return self.activity_manager.foreground
+
+    def kill_app(self, app: Application) -> int:
+        """Tear an application down completely; returns pages freed."""
+        freed = 0
+        for process in app.processes:
+            process.alive = False
+            for task in list(process.tasks):
+                self.sched.remove_task(task)
+            process.tasks.clear()
+            self.freezer.forget(process.pid)
+            freed += self.mm.release_process_pages(
+                list(process.page_table.all_pages())
+            )
+        app.processes = []
+        app.state = AppState.STOPPED
+        self.activity_manager.on_app_killed(app)
+        self.policy.on_app_killed(app)
+        return freed
+
+    # ------------------------------------------------------------------
+    # Memory access paths (used by behaviours and the frame engine)
+    # ------------------------------------------------------------------
+    def touch_pages(self, process: Process, pages: List[Page], write: bool = False) -> float:
+        """CPU touches to ``pages``; returns blocking fault time in ms.
+
+        Faults within one batch are sequential CPU-side (decompression,
+        reclaim stalls add up) but their flash reads pipeline through
+        the block queue: the batch blocks until the *last* bio
+        completes, not for the sum of all queue waits.
+        """
+        cpu_ms = 0.0
+        io_until = self.sim.now
+        foreground = process.app.state is AppState.FOREGROUND
+        for page in pages:
+            if not process.alive:
+                break
+            if page.present:
+                page.mark_accessed(write=write)
+                continue
+            outcome = self._fault(page, process, foreground, write)
+            if outcome is None:
+                continue
+            cpu_ms += outcome.service_ms
+            if outcome.io_complete_at is not None:
+                io_until = max(io_until, outcome.io_complete_at)
+        return cpu_ms + max(0.0, io_until - self.sim.now)
+
+    def _fault(self, page: Page, process: Process, foreground: bool, write: bool):
+        for _attempt in range(3):
+            try:
+                return self.fault_handler.handle(
+                    page, process.pid, process.uid, foreground, write
+                )
+            except OutOfMemoryError:
+                victim = self.lmk.kill_one("page-fault")
+                if victim is None or victim is process.app:
+                    return None
+        return None
+
+    def allocate_pages(self, process: Process, pages: List[Page]) -> float:
+        """Make ``pages`` resident (fresh allocation); returns stall ms."""
+        stall = 0.0
+        for _attempt in range(4):
+            try:
+                outcome = self.mm.make_resident_bulk(pages)
+                return stall + outcome.stall_ms
+            except OutOfMemoryError:
+                victim = self.lmk.kill_one("allocation")
+                if victim is None or victim is process.app:
+                    return stall
+        return stall
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` of device time."""
+        self.sim.run_until(self.sim.now + seconds * 1000.0)
+
+    def run_ms(self, ms: float) -> None:
+        self.sim.run_until(self.sim.now + ms)
+
+    def run_until_complete(self, record: LaunchRecord, timeout_s: float = 60.0) -> bool:
+        """Run until a launch completes (or the timeout elapses)."""
+        deadline = self.sim.now + timeout_s * 1000.0
+        while not record.completed and self.sim.now < deadline:
+            self.sim.run_until(min(self.sim.now + 50.0, deadline))
+        return record.completed
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    @property
+    def vmstat(self):
+        return self.mm.vmstat
+
+    def reset_measurements(self) -> None:
+        """Zero all counters (start of a measurement window)."""
+        self.mm.vmstat.reset()
+        self.flash.reset_stats()
+        self.zram.reset_stats()
+        stats = self.sched.stats
+        stats.busy_ms_total = 0.0
+        stats.samples.clear()
+
+    def memory_summary(self) -> Dict[str, float]:
+        return {
+            "managed_pages": self.mm.managed_pages,
+            "resident_pages": self.mm.resident_pages,
+            "free_pages": self.mm.free_pages,
+            "zram_stored": self.zram.stored_pages,
+            "zram_pool_pages": self.zram.pool_pages(),
+            "high_wm": self.spec.high_watermark_pages,
+            "low_wm": self.spec.low_watermark_pages,
+            "min_wm": self.spec.min_watermark_pages,
+        }

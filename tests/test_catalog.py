@@ -1,0 +1,101 @@
+"""Tests for the application catalog and profiles."""
+
+import pytest
+
+from repro.apps.catalog import (
+    APP_CATALOG,
+    SCENARIO_APPS,
+    catalog_apps,
+    extended_catalog,
+    get_profile,
+)
+from repro.apps.profiles import AppCategory
+from repro.apps.synthetic import cputester_profile, memtester_profile
+from repro.devices.specs import huawei_p20
+
+
+def test_twenty_apps_as_in_table3():
+    assert len(catalog_apps()) == 20
+
+
+def test_table3_categories_have_expected_sizes():
+    by_category = {}
+    for profile in catalog_apps():
+        by_category.setdefault(profile.category, []).append(profile)
+    assert len(by_category[AppCategory.SOCIAL]) == 5
+    assert len(by_category[AppCategory.MULTIMEDIA]) == 3
+    assert len(by_category[AppCategory.GAME]) == 3
+    assert len(by_category[AppCategory.ECOMMERCE]) == 5
+    assert len(by_category[AppCategory.UTILITY]) == 4
+
+
+def test_table3_key_apps_present():
+    for package in ("Facebook", "WhatsApp", "TikTok", "PUBGMobile",
+                    "Chrome", "Amazon", "Youtube"):
+        assert package in APP_CATALOG
+
+
+def test_scenario_mapping_matches_paper():
+    assert SCENARIO_APPS["S-A"] == "WhatsApp"  # video call
+    assert SCENARIO_APPS["S-B"] == "TikTok"  # short-form video
+    assert SCENARIO_APPS["S-C"] == "Facebook"  # screen scrolling
+    assert SCENARIO_APPS["S-D"] == "PUBGMobile"  # mobile game
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        get_profile("MySpace")
+
+
+def test_extended_catalog_is_forty_apps():
+    extended = extended_catalog()
+    assert len(extended) == 40
+    names = [profile.package for profile in extended]
+    assert len(set(names)) == 40
+    assert "WhatsApp-Lite" in names
+
+
+def test_lite_variants_are_smaller():
+    base = get_profile("WhatsApp")
+    lite = next(
+        p for p in extended_catalog() if p.package == "WhatsApp-Lite"
+    )
+    assert lite.total_mb < base.total_mb
+
+
+def test_footprint_scaling():
+    spec = huawei_p20()
+    profile = get_profile("PUBGMobile")
+    pages = profile.footprint_pages(spec)
+    segments = profile.segment_pages(spec)
+    assert pages == pytest.approx(sum(segments.values()), abs=3)
+
+
+def test_games_are_quiet_in_background():
+    for name in ("AngryBird", "ArenaOfValor", "PUBGMobile"):
+        assert not get_profile(name).bg_active
+
+
+def test_facebook_has_stay_awake_bug():
+    assert get_profile("Facebook").buggy_stay_awake
+
+
+def test_memtester_profile_shape():
+    profile = memtester_profile(total_mb=1000)
+    assert profile.total_mb == pytest.approx(1000, abs=4)
+    assert profile.gc_idle_period_s >= 1e8  # no GC
+    assert profile.hot_frac < 0.1  # touches almost nothing again
+    assert profile.cold_resident_frac > 0.9
+
+
+def test_cputester_profile_utilization_math():
+    profile = cputester_profile(utilization_frac=0.2, cores=8)
+    tasks = profile.process_count
+    per_second_cpu = tasks * profile.bg_burst_cpu_ms / profile.bg_burst_period_s
+    assert per_second_cpu / 1000.0 == pytest.approx(0.2 * 8, rel=0.05)
+    assert profile.total_mb < 50  # negligible memory
+
+
+def test_cputester_invalid_fraction_rejected():
+    with pytest.raises(ValueError):
+        cputester_profile(utilization_frac=0.0)

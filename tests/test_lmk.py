@@ -1,0 +1,89 @@
+"""Tests for the low-memory killer."""
+
+import pytest
+
+from repro.android.app import AppState
+from repro.apps.catalog import get_profile
+from repro.system import MobileSystem
+
+from tests.conftest import make_small_spec
+
+GIB = 1024 * 1024 * 1024
+
+
+def staged_system(packages=("WhatsApp", "Skype", "PayPal"), ram=3 * GIB):
+    system = MobileSystem(spec=make_small_spec(ram_bytes=ram), seed=9)
+    for package in packages:
+        system.install_app(get_profile(package))
+        record = system.launch(package, drive_frames=False)
+        assert system.run_until_complete(record, timeout_s=180)
+    return system
+
+
+def test_victim_is_highest_adj_cached_app():
+    system = staged_system()
+    victim = system.lmk.pick_victim()
+    # WhatsApp was launched first -> oldest cached -> highest adj.
+    assert victim is system.get_app("WhatsApp")
+
+
+def test_foreground_never_picked():
+    system = staged_system()
+    fg = system.foreground_app
+    for _ in range(2):
+        killed = system.lmk.kill_one("test")
+        assert killed is not fg
+    assert system.lmk.pick_victim() is None  # only the FG app remains
+
+
+def test_perceptible_apps_never_picked():
+    system = staged_system()
+    whatsapp = system.get_app("WhatsApp")
+    skype = system.get_app("Skype")
+    whatsapp.perceptible = True
+    skype.perceptible = True
+    assert system.lmk.pick_victim() is None
+
+
+def test_kill_records_event():
+    system = staged_system()
+    killed = system.lmk.kill_one("unit-test")
+    assert killed is not None
+    assert system.lmk.kill_count == 1
+    event = system.lmk.kills[0]
+    assert event.package == killed.package
+    assert event.reason == "unit-test"
+    assert event.freed_pages > 0
+
+
+def test_killed_app_fully_torn_down():
+    system = staged_system()
+    killed = system.lmk.kill_one("unit-test")
+    assert killed.state is AppState.STOPPED
+    assert not killed.alive
+    assert killed.resident_pages() == 0
+
+
+def test_kill_none_when_no_candidates():
+    system = staged_system(packages=("WhatsApp",))
+    assert system.lmk.kill_one("none") is None
+
+
+def test_oom_triggers_lmk_under_impossible_demand():
+    # A tiny device that cannot hold two apps: the second launch must
+    # kill the first instead of failing.
+    system = MobileSystem(spec=make_small_spec(ram_bytes=640 * 1024 * 1024),
+                          seed=9)
+    for package in ("WhatsApp", "WeChat"):
+        system.install_app(get_profile(package))
+        record = system.launch(package, drive_frames=False)
+        system.run_until_complete(record, timeout_s=180)
+        system.run(seconds=1.0)
+    assert system.lmk.kill_count >= 1
+    assert system.get_app("WeChat").alive
+
+
+def test_psi_monitor_resets_outside_pressure():
+    system = staged_system()
+    system.run(seconds=5.0)
+    assert system.lmk._pressured_seconds == 0

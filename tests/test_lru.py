@@ -1,0 +1,194 @@
+"""Tests for the active/inactive LRU lists."""
+
+import pytest
+
+from repro.kernel.lru import LruKind, LruLists
+from repro.kernel.page import HeapKind, Page, PageKind
+
+
+def anon():
+    return Page(kind=PageKind.ANON, owner=None, heap=HeapKind.NATIVE)
+
+
+def filep():
+    return Page(kind=PageKind.FILE, owner=None)
+
+
+def test_add_defaults_to_inactive():
+    lru = LruLists()
+    a, f = anon(), filep()
+    lru.add(a)
+    lru.add(f)
+    assert a.lru is LruKind.INACTIVE_ANON
+    assert f.lru is LruKind.INACTIVE_FILE
+
+
+def test_add_active():
+    lru = LruLists()
+    a = anon()
+    lru.add(a, active=True)
+    assert a.lru is LruKind.ACTIVE_ANON
+
+
+def test_double_add_rejected():
+    lru = LruLists()
+    a = anon()
+    lru.add(a)
+    with pytest.raises(ValueError):
+        lru.add(a)
+
+
+def test_remove_clears_membership():
+    lru = LruLists()
+    a = anon()
+    lru.add(a)
+    lru.remove(a)
+    assert a.lru is None
+    assert lru.total == 0
+
+
+def test_remove_unlisted_rejected():
+    with pytest.raises(ValueError):
+        LruLists().remove(anon())
+
+
+def test_discard_is_noop_for_unlisted():
+    LruLists().discard(anon())  # must not raise
+
+
+def test_activate_moves_to_active():
+    lru = LruLists()
+    a = anon()
+    lru.add(a)
+    lru.activate(a)
+    assert a.lru is LruKind.ACTIVE_ANON
+    assert lru.active_anon == 1
+    assert lru.inactive_anon == 0
+
+
+def test_deactivate_moves_to_inactive():
+    lru = LruLists()
+    a = anon()
+    lru.add(a, active=True)
+    lru.deactivate(a)
+    assert a.lru is LruKind.INACTIVE_ANON
+
+
+def test_coldest_is_fifo_order():
+    lru = LruLists()
+    first, second = anon(), anon()
+    lru.add(first)
+    lru.add(second)
+    assert lru.coldest(LruKind.INACTIVE_ANON) is first
+
+
+def test_rotate_moves_to_hot_end():
+    lru = LruLists()
+    first, second = anon(), anon()
+    lru.add(first)
+    lru.add(second)
+    lru.rotate(first)
+    assert lru.coldest(LruKind.INACTIVE_ANON) is second
+
+
+def test_pop_coldest():
+    lru = LruLists()
+    first, second = anon(), anon()
+    lru.add(first)
+    lru.add(second)
+    popped = lru.pop_coldest(LruKind.INACTIVE_ANON)
+    assert popped is first
+    assert popped.lru is None
+    assert lru.inactive_anon == 1
+
+
+def test_pop_coldest_empty_returns_none():
+    assert LruLists().pop_coldest(LruKind.INACTIVE_FILE) is None
+
+
+def test_scan_inactive_returns_unreferenced_victims():
+    lru = LruLists()
+    pages = [anon() for _ in range(4)]
+    for page in pages:
+        lru.add(page)
+    victims = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=4)
+    assert victims == pages
+    assert all(page.lru is None for page in victims)
+
+
+def test_scan_inactive_gives_second_chance():
+    lru = LruLists()
+    hot, cold = anon(), anon()
+    lru.add(hot)
+    lru.add(cold)
+    hot.referenced = True
+    victims = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=2)
+    assert victims == [cold]
+    assert hot.lru is LruKind.ACTIVE_ANON
+    assert not hot.referenced  # young bit cleared
+
+
+def test_scan_inactive_respects_protect_hook():
+    lru = LruLists()
+    protected, normal = anon(), anon()
+    lru.add(protected)
+    lru.add(normal)
+    victims = lru.scan_inactive(
+        LruKind.INACTIVE_ANON, budget=2, protect=lambda p: p is protected
+    )
+    assert victims == [normal]
+    assert protected.lru is LruKind.INACTIVE_ANON
+
+
+def test_scan_inactive_budget_limits_scanning():
+    lru = LruLists()
+    pages = [anon() for _ in range(10)]
+    for page in pages:
+        lru.add(page)
+    victims = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=3)
+    assert victims == pages[:3]
+
+
+def test_scan_inactive_on_active_list_rejected():
+    with pytest.raises(ValueError):
+        LruLists().scan_inactive(LruKind.ACTIVE_ANON, budget=1)
+
+
+def test_age_active_demotes_unreferenced():
+    lru = LruLists()
+    referenced, idle = anon(), anon()
+    lru.add(referenced, active=True)
+    lru.add(idle, active=True)
+    referenced.referenced = True
+    demoted = lru.age_active(LruKind.ACTIVE_ANON, budget=2)
+    assert demoted == 1
+    assert idle.lru is LruKind.INACTIVE_ANON
+    assert referenced.lru is LruKind.ACTIVE_ANON
+    assert not referenced.referenced
+
+
+def test_age_active_on_inactive_list_rejected():
+    with pytest.raises(ValueError):
+        LruLists().age_active(LruKind.INACTIVE_ANON, budget=1)
+
+
+def test_needs_aging_anon_ratio():
+    lru = LruLists()
+    for _ in range(4):
+        lru.add(anon(), active=True)
+    assert lru.needs_aging(LruKind.INACTIVE_ANON)
+    for _ in range(3):
+        lru.add(anon())
+    assert not lru.needs_aging(LruKind.INACTIVE_ANON)
+
+
+def test_sizes_and_total():
+    lru = LruLists()
+    lru.add(anon())
+    lru.add(anon(), active=True)
+    lru.add(filep())
+    assert lru.inactive_anon == 1
+    assert lru.active_anon == 1
+    assert lru.inactive_file == 1
+    assert lru.active_file == 0
+    assert lru.total == 3

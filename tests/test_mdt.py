@@ -1,0 +1,132 @@
+"""Tests for memory-aware dynamic thawing (§4.3)."""
+
+import math
+
+import pytest
+
+from repro.core.config import IceConfig
+from repro.core.mdt import MemoryAwareThawing
+from repro.sim.engine import Simulator
+
+
+class Harness:
+    def __init__(self, available=10_000, high=256, config=None):
+        self.sim = Simulator()
+        self.available = available
+        self.frozen = []
+        self.thawed = []
+        self.mdt = MemoryAwareThawing(
+            config=config or IceConfig(),
+            sim=self.sim,
+            high_watermark_pages=high,
+            available_pages_fn=lambda: self.available,
+            freeze_uid=self.frozen.append,
+            thaw_uid=self.thawed.append,
+        )
+
+
+def test_ratio_formula_matches_paper_eq1():
+    """R = delta * 2^ceil(Hwm / Sam)."""
+    h = Harness(available=10_000, high=256)
+    assert h.mdt.compute_ratio() == 8.0 * 2 ** 1
+    h.available = 256
+    assert h.mdt.compute_ratio() == 8.0 * 2 ** 1
+    h.available = 255
+    assert h.mdt.compute_ratio() == 8.0 * 2 ** 2
+    h.available = 64
+    assert h.mdt.compute_ratio() == 8.0 * 2 ** 4
+
+
+def test_ratio_exponent_capped():
+    h = Harness(available=1, high=10 ** 9)
+    assert h.mdt.compute_ratio() == 8.0 * 2 ** 16
+
+
+def test_freeze_period_bounded_by_config():
+    config = IceConfig(max_freeze_s=20.0)
+    h = Harness(available=1, high=10 ** 6, config=config)
+    assert h.mdt.compute_freeze_period_s() == 20.0
+
+
+def test_freeze_period_low_pressure_default():
+    h = Harness(available=10_000, high=256)
+    # R = 16, E_t = 1s -> E_f = 16s.
+    assert h.mdt.compute_freeze_period_s() == 16.0
+
+
+def test_register_starts_heartbeat_and_freezes():
+    h = Harness()
+    h.mdt.register(42)
+    assert h.mdt.started
+    h.sim.run_until(1.0)
+    assert 42 in h.frozen
+
+
+def test_epoch_cycle_freeze_then_thaw():
+    h = Harness(available=10_000)
+    h.mdt.register(42)
+    h.sim.run_until(16_500.0)  # into the thaw window (E_f = 16s)
+    assert h.thawed == [42]
+    assert h.mdt.in_thaw_period
+    h.sim.run_until(17_600.0)  # next epoch began
+    assert h.frozen.count(42) >= 2
+    assert not h.mdt.in_thaw_period
+
+
+def test_intensity_tracks_pressure_changes():
+    h = Harness(available=10_000)
+    h.mdt.register(42)
+    h.sim.run_until(1.0)
+    h.available = 50  # pressure spikes: ceil(256/50)=6 -> R=512 -> capped
+    h.sim.run_until(17_100.0)  # next epoch recomputes E_f
+    assert h.mdt.current_freeze_s == h.mdt.config.max_freeze_s
+
+
+def test_deregister_stops_thawing_that_uid():
+    h = Harness()
+    h.mdt.register(1)
+    h.mdt.register(2)
+    h.mdt.deregister(1)
+    h.sim.run_until(16_500.0)
+    assert 1 not in h.thawed
+    assert 2 in h.thawed
+
+
+def test_release_when_pressure_vanishes():
+    config = IceConfig(release_pressure_factor=4.0)
+    h = Harness(available=100, high=256, config=config)
+    h.mdt.register(1)
+    h.sim.run_until(1.0)
+    h.available = 2000  # > 4 * 256
+    # Run past the next thaw boundary (E_f capped at 120s by default...
+    # but with available=100 the first epoch used max_freeze).
+    h.sim.run_until((h.mdt.current_freeze_s + 2) * 1000.0)
+    assert h.mdt.managed_uids == set()
+    assert 1 in h.thawed  # released apps are thawed, not left frozen
+
+
+def test_epoch_records_kept():
+    h = Harness()
+    h.mdt.register(9)
+    h.sim.run_until(40_000.0)
+    assert len(h.mdt.epochs) >= 2
+    assert h.mdt.epochs[0].frozen_apps in (0, 1)
+
+
+def test_stop_halts_heartbeat():
+    h = Harness()
+    h.mdt.register(1)
+    h.sim.run_until(1.0)
+    h.mdt.stop()
+    frozen_count = len(h.frozen)
+    h.sim.run_until(60_000.0)
+    assert len(h.frozen) == frozen_count
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        IceConfig(delta=0)
+    with pytest.raises(ValueError):
+        IceConfig(thaw_period_s=0)
+    with pytest.raises(ValueError):
+        IceConfig(max_freeze_s=0.5, thaw_period_s=1.0)

@@ -1,0 +1,111 @@
+"""Tests for pages and page tables."""
+
+import pytest
+
+from repro.kernel.page import HeapKind, Page, PageKind
+from repro.kernel.page_table import PageTable
+
+
+def make_anon(heap=HeapKind.NATIVE, **kw):
+    return Page(kind=PageKind.ANON, owner=None, heap=heap, **kw)
+
+
+def make_file(**kw):
+    return Page(kind=PageKind.FILE, owner=None, **kw)
+
+
+def test_page_ids_unique():
+    a, b = make_anon(), make_anon()
+    assert a.page_id != b.page_id
+
+
+def test_anon_requires_heap_kind():
+    with pytest.raises(ValueError):
+        Page(kind=PageKind.ANON, owner=None, heap=HeapKind.NONE)
+
+
+def test_file_rejects_heap_kind():
+    with pytest.raises(ValueError):
+        Page(kind=PageKind.FILE, owner=None, heap=HeapKind.JAVA)
+
+
+def test_new_page_not_present():
+    page = make_anon()
+    assert not page.present
+    assert not page.was_evicted
+
+
+def test_mark_accessed_sets_young_bit():
+    page = make_anon()
+    page.mark_accessed()
+    assert page.referenced
+
+
+def test_write_access_dirties_file_page():
+    page = make_file()
+    page.mark_accessed(write=True)
+    assert page.dirty
+
+
+def test_write_access_does_not_dirty_anon():
+    page = make_anon()
+    page.mark_accessed(write=True)
+    assert not page.dirty
+
+
+def test_shadow_entry_marks_eviction():
+    page = make_anon()
+    page.shadow_eviction_clock = 17
+    assert page.was_evicted
+
+
+# ----------------------------------------------------------------------
+# PageTable
+# ----------------------------------------------------------------------
+def test_build_page_lands_in_correct_segment():
+    table = PageTable(owner=None)
+    anon_j = table.build_page(PageKind.ANON, HeapKind.JAVA)
+    anon_n = table.build_page(PageKind.ANON, HeapKind.NATIVE)
+    filep = table.build_page(PageKind.FILE, HeapKind.NONE)
+    assert anon_j in table.pages_of(PageTable.JAVA_HEAP)
+    assert anon_n in table.pages_of(PageTable.NATIVE_HEAP)
+    assert filep in table.pages_of(PageTable.FILE_MAP)
+
+
+def test_total_and_resident_counts():
+    table = PageTable(owner=None)
+    pages = [table.build_page(PageKind.ANON, HeapKind.JAVA) for _ in range(5)]
+    assert table.total_pages == 5
+    assert table.resident_pages == 0
+    pages[0].present = True
+    pages[1].present = True
+    assert table.resident_pages == 2
+
+
+def test_evicted_pages_counts_shadowed_only():
+    table = PageTable(owner=None)
+    a = table.build_page(PageKind.ANON, HeapKind.JAVA)
+    b = table.build_page(PageKind.ANON, HeapKind.JAVA)
+    a.shadow_eviction_clock = 3
+    assert table.evicted_pages == 1
+    b.present = True
+    assert table.evicted_pages == 1
+
+
+def test_resident_by_segment():
+    table = PageTable(owner=None)
+    table.build_page(PageKind.FILE, HeapKind.NONE).present = True
+    table.build_page(PageKind.ANON, HeapKind.NATIVE)
+    counts = table.resident_by_segment()
+    assert counts[PageTable.FILE_MAP] == 1
+    assert counts[PageTable.NATIVE_HEAP] == 0
+
+
+def test_all_pages_iterates_everything():
+    table = PageTable(owner=None)
+    built = {
+        table.build_page(PageKind.ANON, HeapKind.JAVA).page_id,
+        table.build_page(PageKind.ANON, HeapKind.NATIVE).page_id,
+        table.build_page(PageKind.FILE, HeapKind.NONE).page_id,
+    }
+    assert {page.page_id for page in table.all_pages()} == built

@@ -1,0 +1,108 @@
+"""Tests for the next-app predictor and predictive thaw (§6.3.1 ext)."""
+
+import pytest
+
+from repro.apps.catalog import get_profile
+from repro.core.config import IceConfig
+from repro.core.ice import IcePolicy
+from repro.core.predictor import NextAppPredictor
+from repro.system import MobileSystem
+
+from tests.conftest import make_small_spec
+
+GIB = 1024 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# NextAppPredictor
+# ----------------------------------------------------------------------
+def test_empty_predictor_predicts_nothing():
+    assert NextAppPredictor().predict_next() is None
+
+
+def test_learns_markov_transition():
+    predictor = NextAppPredictor()
+    for _ in range(3):
+        predictor.record_launch(1)
+        predictor.record_launch(2)
+    assert predictor.predict_next(1) == 2
+
+
+def test_frequency_fallback_for_unknown_state():
+    predictor = NextAppPredictor()
+    for uid in (5, 5, 5, 7):
+        predictor.record_launch(uid)
+    # UID 99 has no transitions; fall back to most frequent (5).
+    assert predictor.predict_next(99) == 5
+
+
+def test_fallback_never_predicts_current_app():
+    predictor = NextAppPredictor()
+    predictor.record_launch(5)
+    predictor.record_launch(5)
+    assert predictor.predict_next(5) is None or predictor.predict_next(5) != 5
+
+
+def test_accuracy_tracking():
+    predictor = NextAppPredictor()
+    predictor.record_launch(1)
+    predictor.record_launch(2)
+    predictor.record_launch(1)
+    predictor.predict_next(1)  # predicts 2
+    predictor.record_launch(2)  # hit
+    predictor.predict_next(2)  # predicts 1
+    predictor.record_launch(3)  # miss
+    assert predictor.predictions == 2
+    assert predictor.hits == 1
+    assert predictor.accuracy == 0.5
+
+
+def test_forget_removes_uid():
+    predictor = NextAppPredictor()
+    predictor.record_launch(1)
+    predictor.record_launch(2)
+    predictor.forget(2)
+    assert predictor.predict_next(1) != 2
+
+
+def test_history_limit_bounds_memory():
+    predictor = NextAppPredictor(history_limit=10)
+    for i in range(100):
+        predictor.record_launch(i % 5)
+    assert len(predictor._history) == 10
+
+
+# ----------------------------------------------------------------------
+# Predictive thaw wired into Ice
+# ----------------------------------------------------------------------
+def test_predictive_thaw_disabled_by_default():
+    system = MobileSystem(spec=make_small_spec(ram_bytes=2 * GIB),
+                          policy=IcePolicy(), seed=5)
+    assert system.policy.predictor is None
+
+
+def test_predictive_thaw_unfreezes_predicted_app():
+    config = IceConfig(predictive_thaw=True)
+    system = MobileSystem(spec=make_small_spec(ram_bytes=3 * GIB),
+                          policy=IcePolicy(config), seed=5)
+    for package in ("WhatsApp", "Skype"):
+        system.install_app(get_profile(package))
+        record = system.launch(package, drive_frames=False)
+        assert system.run_until_complete(record, timeout_s=180)
+    # Teach the predictor the WhatsApp -> Skype transition.
+    for _ in range(2):
+        for package in ("WhatsApp", "Skype"):
+            record = system.launch(package, drive_frames=False)
+            system.run_until_complete(record, timeout_s=180)
+    # Skype is FG; freeze it, then switch to WhatsApp: the predictor
+    # knows WhatsApp -> Skype and must thaw Skype ahead of its launch.
+    skype = system.get_app("Skype")
+    for pid in skype.pids:
+        system.freezer.freeze(pid)
+    record = system.launch("WhatsApp", drive_frames=False)
+    system.run_until_complete(record, timeout_s=180)
+    assert all(not system.freezer.is_frozen(pid) for pid in skype.pids)
+    assert system.policy.predictive_thaw_count >= 1
+    # The predicted launch pays no thaw latency.
+    record = system.launch("Skype", drive_frames=False)
+    assert record.thaw_ms == 0.0

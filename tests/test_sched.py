@@ -1,0 +1,279 @@
+"""Tests for tasks, priorities, and the CFS scheduler."""
+
+import pytest
+
+from repro.sched.cfs import CfsScheduler
+from repro.sched.priorities import clamp_nice, nice_to_weight
+from repro.sched.task import Task, TaskState, WorkItem
+
+
+# ----------------------------------------------------------------------
+# Priorities
+# ----------------------------------------------------------------------
+def test_nice_zero_weight():
+    assert nice_to_weight(0) == 1024
+
+
+def test_weight_monotonic_in_nice():
+    weights = [nice_to_weight(nice) for nice in range(-20, 20)]
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_out_of_range_nice_rejected():
+    with pytest.raises(ValueError):
+        nice_to_weight(20)
+    with pytest.raises(ValueError):
+        nice_to_weight(-21)
+
+
+def test_clamp_nice():
+    assert clamp_nice(100) == 19
+    assert clamp_nice(-100) == -20
+    assert clamp_nice(3) == 3
+
+
+# ----------------------------------------------------------------------
+# Task state machine
+# ----------------------------------------------------------------------
+def test_new_task_sleeps():
+    assert Task("t").state is TaskState.SLEEPING
+
+
+def test_submit_wakes_sleeping_task():
+    task = Task("t")
+    task.submit(WorkItem(cpu_ms=1.0))
+    assert task.state is TaskState.RUNNABLE
+
+
+def test_submit_to_dead_task_ignored():
+    task = Task("t")
+    task.kill()
+    task.submit(WorkItem(cpu_ms=1.0))
+    assert task.state is TaskState.DEAD
+    assert not task.queue
+
+
+def test_block_and_unblock():
+    task = Task("t")
+    task.submit(WorkItem(cpu_ms=1.0))
+    task.block_until(50.0)
+    assert task.state is TaskState.BLOCKED
+    task.unblock()
+    assert task.state is TaskState.RUNNABLE
+
+
+def test_unblock_without_work_sleeps():
+    task = Task("t")
+    task.submit(WorkItem(cpu_ms=1.0))
+    task.queue.clear()
+    task.block_until(50.0)
+    task.unblock()
+    assert task.state is TaskState.SLEEPING
+
+
+def test_freeze_and_thaw_roundtrip():
+    task = Task("t")
+    task.submit(WorkItem(cpu_ms=1.0))
+    task.freeze()
+    assert task.state is TaskState.FROZEN
+    task.thaw()
+    assert task.state is TaskState.RUNNABLE
+
+
+def test_thaw_without_work_sleeps():
+    task = Task("t")
+    task.freeze()
+    task.thaw()
+    assert task.state is TaskState.SLEEPING
+
+
+def test_kernel_tasks_not_freezable():
+    task = Task("kswapd0", is_kernel=True)
+    assert not task.freezable
+
+
+def test_queue_body_runs_work_and_completes():
+    task = Task("t")
+    done = []
+    task.submit(WorkItem(cpu_ms=6.0, on_complete=lambda: done.append(1)))
+    used = task.body.run(task, now=0.0, budget_ms=4.0)
+    assert used == 4.0
+    assert not done
+    used = task.body.run(task, now=4.0, budget_ms=4.0)
+    assert used == 2.0
+    assert done == [1]
+
+
+def test_queue_body_touch_blocks_task():
+    task = Task("t")
+    task.submit(WorkItem(cpu_ms=2.0, touch=lambda: 10.0))
+    used = task.body.run(task, now=0.0, budget_ms=4.0)
+    assert used == 0.0
+    assert task.state is TaskState.BLOCKED
+    assert task.blocked_until == 10.0
+    # After unblocking, the CPU part executes without re-touching.
+    task.unblock()
+    used = task.body.run(task, now=10.0, budget_ms=4.0)
+    assert used == 2.0
+
+
+def test_queue_body_zero_fault_touch_continues():
+    task = Task("t")
+    task.submit(WorkItem(cpu_ms=1.0, touch=lambda: 0.0))
+    used = task.body.run(task, now=0.0, budget_ms=4.0)
+    assert used == 1.0
+    assert task.state is TaskState.RUNNABLE  # scheduler will sleep it
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+def make_sched(cores=2):
+    return CfsScheduler(cores=cores)
+
+
+def test_tick_runs_min_vruntime_first():
+    sched = make_sched(cores=1)
+    early = Task("early")
+    late = Task("late")
+    sched.add_task(early)
+    sched.add_task(late)
+    early.vruntime = 0.0
+    late.vruntime = 100.0
+    early.submit(WorkItem(cpu_ms=4.0))
+    late.submit(WorkItem(cpu_ms=4.0))
+    sched.tick(0.0)
+    assert early.cpu_ms_total == 4.0
+    assert late.cpu_ms_total == 0.0
+
+
+def test_vruntime_advances_by_weighted_usage():
+    sched = make_sched(cores=1)
+    task = Task("t", nice=0)
+    sched.add_task(task)
+    task.submit(WorkItem(cpu_ms=4.0))
+    sched.tick(0.0)
+    assert task.vruntime == pytest.approx(4.0)
+
+
+def test_boost_slows_vruntime_accrual():
+    sched = make_sched(cores=2)
+    boosted = Task("boosted")
+    boosted.boost = 4.0
+    normal = Task("normal")
+    sched.add_task(boosted)
+    sched.add_task(normal)
+    boosted.submit(WorkItem(cpu_ms=4.0))
+    normal.submit(WorkItem(cpu_ms=4.0))
+    sched.tick(0.0)
+    assert boosted.vruntime < normal.vruntime
+
+
+def test_frozen_tasks_never_picked():
+    sched = make_sched(cores=1)
+    task = Task("t")
+    sched.add_task(task)
+    task.submit(WorkItem(cpu_ms=4.0))
+    task.freeze()
+    sched.tick(0.0)
+    assert task.cpu_ms_total == 0.0
+
+
+def test_blocked_tasks_wake_when_due():
+    sched = make_sched(cores=1)
+    task = Task("t")
+    sched.add_task(task)
+    task.submit(WorkItem(cpu_ms=4.0))
+    task.block_until(10.0)
+    sched.tick(4.0)
+    assert task.state is TaskState.BLOCKED
+    sched.tick(12.0)
+    assert task.cpu_ms_total == 4.0
+
+
+def test_background_tasks_confined_to_little_cores():
+    sched = make_sched(cores=4)  # 2 big + 2 little
+    sched.is_background = lambda task: task.name.startswith("bg")
+    tasks = [Task(f"bg{i}") for i in range(4)]
+    for task in tasks:
+        sched.add_task(task)
+        task.submit(WorkItem(cpu_ms=4.0))
+    sched.tick(0.0)
+    ran = sum(1 for task in tasks if task.cpu_ms_total > 0)
+    assert ran == 2  # only the little cluster
+
+
+def test_foreground_tasks_use_all_cores():
+    sched = make_sched(cores=4)
+    tasks = [Task(f"fg{i}") for i in range(4)]
+    for task in tasks:
+        sched.add_task(task)
+        task.submit(WorkItem(cpu_ms=4.0))
+    sched.tick(0.0)
+    assert all(task.cpu_ms_total > 0 for task in tasks)
+
+
+def test_bg_slot_limit_packs_background():
+    sched = make_sched(cores=4)
+    sched.is_background = lambda task: True
+    sched.bg_slot_limit = 1
+    tasks = [Task(f"bg{i}") for i in range(3)]
+    for task in tasks:
+        sched.add_task(task)
+        task.submit(WorkItem(cpu_ms=4.0))
+    sched.tick(0.0)
+    assert sum(1 for task in tasks if task.cpu_ms_total > 0) == 1
+
+
+def test_freeze_thaw_by_pid():
+    class Proc:
+        pid = 1234
+        uid = 1
+
+    sched = make_sched()
+    task = Task("t", process=Proc())
+    sched.add_task(task)
+    task.submit(WorkItem(cpu_ms=4.0))
+    sched.freeze_pid(1234)
+    assert task.state is TaskState.FROZEN
+    sched.thaw_pid(1234)
+    assert task.state is TaskState.RUNNABLE
+
+
+def test_cpu_stats_buckets_per_second():
+    sched = make_sched(cores=1)
+    task = Task("t")
+    sched.add_task(task)
+    now = 0.0
+    while now <= 2000.0:
+        task.submit(WorkItem(cpu_ms=4.0))
+        sched.tick(now)
+        now += 4.0
+    assert len(sched.stats.samples) == 2
+    assert sched.stats.samples[0] == pytest.approx(1.0, abs=0.01)
+
+
+def test_utilization_over_window():
+    sched = make_sched(cores=2)
+    task = Task("t")
+    sched.add_task(task)
+    task.submit(WorkItem(cpu_ms=4.0))
+    sched.tick(0.0)
+    assert sched.stats.utilization_over(4.0) == pytest.approx(0.5)
+
+
+def test_remove_task_kills_it():
+    sched = make_sched()
+    task = Task("t")
+    sched.add_task(task)
+    sched.remove_task(task)
+    assert task.state is TaskState.DEAD
+    assert task.tid not in sched.tasks
+
+
+def test_duplicate_add_rejected():
+    sched = make_sched()
+    task = Task("t")
+    sched.add_task(task)
+    with pytest.raises(ValueError):
+        sched.add_task(task)

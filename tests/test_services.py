@@ -1,0 +1,54 @@
+"""Tests for the framework load generator."""
+
+import pytest
+
+from repro.android.services import FrameworkLoad, SERVICE_NAMES
+from repro.apps.catalog import get_profile
+from repro.system import MobileSystem
+
+from tests.conftest import make_small_spec
+
+GIB = 1024 * 1024 * 1024
+
+
+def test_invalid_base_utilization_rejected():
+    system = MobileSystem(spec=make_small_spec(ram_bytes=1 * GIB), seed=1)
+    with pytest.raises(ValueError):
+        FrameworkLoad(system, base_utilization=1.0)
+
+
+def test_service_tasks_registered_and_unfreezable():
+    system = MobileSystem(spec=make_small_spec(ram_bytes=1 * GIB), seed=1)
+    names = {task.name for task in system.sched.tasks.values()}
+    for service in SERVICE_NAMES:
+        assert service in names
+    for task in system.framework.tasks:
+        assert not task.freezable
+
+
+def test_baseline_utilization_near_target():
+    system = MobileSystem(spec=make_small_spec(ram_bytes=1 * GIB), seed=1,
+                          framework_base_utilization=0.4)
+    system.run(seconds=10.0)
+    util = system.sched.stats.average_utilization
+    assert 0.25 < util < 0.55
+
+
+def test_per_app_increment_raises_target():
+    system = MobileSystem(spec=make_small_spec(ram_bytes=3 * GIB), seed=1)
+    base_target = system.framework.current_target()
+    for package in ("WhatsApp", "Skype"):
+        system.install_app(get_profile(package))
+        record = system.launch(package, drive_frames=False)
+        system.run_until_complete(record, timeout_s=180)
+    # One app is FG; one is cached -> target rises by one increment.
+    assert system.framework.current_target() == pytest.approx(
+        base_target + system.framework.per_app_utilization
+    )
+
+
+def test_start_is_idempotent():
+    system = MobileSystem(spec=make_small_spec(ram_bytes=1 * GIB), seed=1)
+    count = len(system.framework.tasks)
+    system.framework.start()
+    assert len(system.framework.tasks) == count

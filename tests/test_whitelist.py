@@ -1,0 +1,67 @@
+"""Tests for the safety whitelist (§4.4)."""
+
+from repro.core.mapping_table import MappingTable
+from repro.core.whitelist import Whitelist
+
+
+def make_whitelist():
+    table = MappingTable()
+    return table, Whitelist(table, adj_threshold=200)
+
+
+def test_foreground_app_whitelisted():
+    table, wl = make_whitelist()
+    table.register_app(uid=1, package="fg", pids=[1], adj_score=0)
+    assert wl.is_whitelisted(1)
+
+
+def test_perceptible_app_whitelisted():
+    table, wl = make_whitelist()
+    table.register_app(uid=1, package="music", pids=[1], adj_score=200)
+    assert wl.is_whitelisted(1)
+
+
+def test_cached_app_not_whitelisted():
+    table, wl = make_whitelist()
+    table.register_app(uid=1, package="bg", pids=[1], adj_score=900)
+    assert not wl.is_whitelisted(1)
+
+
+def test_unknown_uid_whitelisted_for_safety():
+    _, wl = make_whitelist()
+    assert wl.is_whitelisted(31337)  # kernel/service process: never freeze
+
+
+def test_vendor_pin_overrides_adj():
+    table, wl = make_whitelist()
+    table.register_app(uid=1, package="antivirus", pids=[1], adj_score=950)
+    wl.pin_uid(1)
+    assert wl.is_whitelisted(1)
+    wl.unpin_uid(1)
+    assert not wl.is_whitelisted(1)
+
+
+def test_score_change_updates_decision():
+    table, wl = make_whitelist()
+    table.register_app(uid=1, package="app", pids=[1], adj_score=900)
+    assert not wl.is_whitelisted(1)
+    table.set_adj_score(1, 0)  # switched to FG
+    assert wl.is_whitelisted(1)
+
+
+def test_check_and_hit_counters():
+    table, wl = make_whitelist()
+    table.register_app(uid=1, package="a", pids=[1], adj_score=0)
+    table.register_app(uid=2, package="b", pids=[2], adj_score=900)
+    wl.is_whitelisted(1)
+    wl.is_whitelisted(2)
+    assert wl.checks == 2
+    assert wl.hits == 1
+
+
+def test_vendor_uids_snapshot():
+    _, wl = make_whitelist()
+    wl.pin_uid(5)
+    uids = wl.vendor_uids
+    uids.add(6)
+    assert 6 not in wl.vendor_uids

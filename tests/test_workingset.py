@@ -1,0 +1,92 @@
+"""Tests for shadow entries and refault events."""
+
+from repro.kernel.page import HeapKind, Page, PageKind
+from repro.kernel.workingset import WorkingSet
+
+
+def anon():
+    return Page(kind=PageKind.ANON, owner=None, heap=HeapKind.JAVA)
+
+
+def test_eviction_installs_shadow_entry():
+    ws = WorkingSet()
+    page = anon()
+    ws.record_eviction(page)
+    assert page.was_evicted
+    assert page.evictions == 1
+
+
+def test_first_touch_is_not_refault():
+    ws = WorkingSet()
+    page = anon()
+    event = ws.check_refault(0.0, page, pid=1, uid=2, foreground=False)
+    assert event is None
+
+
+def test_refault_detected_and_shadow_cleared():
+    ws = WorkingSet()
+    page = anon()
+    ws.record_eviction(page)
+    event = ws.check_refault(5.0, page, pid=1, uid=2, foreground=False)
+    assert event is not None
+    assert event.pid == 1
+    assert event.uid == 2
+    assert event.background
+    assert not page.was_evicted
+    assert page.refaults == 1
+
+
+def test_refault_distance_counts_interleaved_evictions():
+    ws = WorkingSet()
+    target = anon()
+    ws.record_eviction(target)
+    for _ in range(5):
+        ws.record_eviction(anon())
+    event = ws.check_refault(0.0, target, pid=1, uid=1, foreground=True)
+    assert event.refault_distance == 5
+
+
+def test_immediate_refault_distance_zero():
+    ws = WorkingSet()
+    page = anon()
+    ws.record_eviction(page)
+    event = ws.check_refault(0.0, page, pid=1, uid=1, foreground=True)
+    assert event.refault_distance == 0
+
+
+def test_observers_receive_events():
+    ws = WorkingSet()
+    seen = []
+    ws.subscribe(seen.append)
+    page = anon()
+    ws.record_eviction(page)
+    ws.check_refault(1.0, page, pid=9, uid=9, foreground=False)
+    assert len(seen) == 1
+    assert seen[0].pid == 9
+
+
+def test_unsubscribe_stops_delivery():
+    ws = WorkingSet()
+    seen = []
+    ws.subscribe(seen.append)
+    ws.unsubscribe(seen.append)
+    page = anon()
+    ws.record_eviction(page)
+    ws.check_refault(1.0, page, pid=9, uid=9, foreground=False)
+    assert seen == []
+
+
+def test_drop_shadow_forgets_eviction():
+    ws = WorkingSet()
+    page = anon()
+    ws.record_eviction(page)
+    ws.drop_shadow(page)
+    assert ws.check_refault(0.0, page, pid=1, uid=1, foreground=True) is None
+
+
+def test_foreground_flag_propagates():
+    ws = WorkingSet()
+    page = anon()
+    ws.record_eviction(page)
+    event = ws.check_refault(0.0, page, pid=1, uid=1, foreground=True)
+    assert event.foreground and not event.background

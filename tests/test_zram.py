@@ -1,0 +1,90 @@
+"""Tests for the ZRAM compressed swap device."""
+
+import pytest
+
+from repro.storage.zram import ZramDevice, ZramFullError
+
+
+def make_zram(capacity=8, ratio=2.0):
+    return ZramDevice(capacity_pages=capacity, compression_ratio=ratio)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ZramDevice(capacity_pages=0)
+    with pytest.raises(ValueError):
+        ZramDevice(capacity_pages=4, compression_ratio=1.0)
+
+
+def test_store_and_load_roundtrip():
+    zram = make_zram()
+    cost_store = zram.store(1)
+    assert cost_store == zram.compress_ms
+    assert zram.contains(1)
+    cost_load = zram.load(1)
+    assert cost_load == zram.decompress_ms
+    assert not zram.contains(1)
+
+
+def test_store_duplicate_slot_rejected():
+    zram = make_zram()
+    zram.store(1)
+    with pytest.raises(ValueError):
+        zram.store(1)
+
+
+def test_load_empty_slot_rejected():
+    with pytest.raises(KeyError):
+        make_zram().load(42)
+
+
+def test_capacity_enforced():
+    zram = make_zram(capacity=2)
+    zram.store(1)
+    zram.store(2)
+    with pytest.raises(ZramFullError):
+        zram.store(3)
+    assert zram.failed_stores == 1
+
+
+def test_pool_pages_reflect_compression():
+    zram = make_zram(capacity=10, ratio=2.0)
+    for slot in range(4):
+        zram.store(slot)
+    assert zram.pool_pages() == pytest.approx(2.0)
+
+
+def test_load_frees_slot_and_pool():
+    zram = make_zram(capacity=2)
+    zram.store(1)
+    zram.store(2)
+    zram.load(1)
+    assert zram.has_room(1)
+    zram.store(3)  # must not raise
+
+
+def test_discard_drops_without_cost():
+    zram = make_zram()
+    zram.store(5)
+    zram.discard(5)
+    assert not zram.contains(5)
+    zram.discard(5)  # idempotent
+
+
+def test_counters():
+    zram = make_zram()
+    zram.store(1)
+    zram.store(2)
+    zram.load(1)
+    assert zram.stores == 2
+    assert zram.loads == 1
+    zram.reset_stats()
+    assert zram.stores == 0
+
+
+def test_free_slots_accounting():
+    zram = make_zram(capacity=5)
+    assert zram.free_slots == 5
+    zram.store(1)
+    assert zram.free_slots == 4
+    assert zram.stored_pages == 1
