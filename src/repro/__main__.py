@@ -3,7 +3,9 @@
 Examples::
 
     python -m repro scenario --scenario S-A --policy Ice --bg 8
-    python -m repro compare --scenario S-D --seconds 45
+    python -m repro scenario --scenario S-A --policy Ice --trace-out ice.trace.json
+    python -m repro compare --scenario S-D --seconds 45 --json
+    python -m repro trace --scenario S-B --policy Ice --out ice.trace.json
     python -m repro table1
     python -m repro overhead
 """
@@ -11,6 +13,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.devices.specs import get_device
@@ -18,6 +22,10 @@ from repro.experiments.cpu_utilization import format_table1, table1
 from repro.experiments.overhead import format_overhead
 from repro.experiments.scenarios import BgCase, SCENARIOS, run_scenario
 from repro.policies.registry import available_policies
+from repro.trace.export import write_chrome_trace, write_timeseries
+from repro.trace.tracer import Tracer
+
+DEFAULT_SAMPLE_MS = 100.0
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -32,6 +40,22 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         choices=list(BgCase.ALL))
     parser.add_argument("--seconds", type=float, default=60.0)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON object per run "
+                             "instead of the formatted line")
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="enable tracing and write a Chrome/Perfetto "
+                             "trace_event JSON file (open in ui.perfetto.dev)")
+    parser.add_argument("--timeseries-out", default=None, metavar="PATH",
+                        help="write the sampler's aligned time series "
+                             "(.csv → CSV, otherwise JSON)")
+    parser.add_argument("--sample-ms", type=float, default=DEFAULT_SAMPLE_MS,
+                        help="sampler interval in simulated ms")
+    parser.add_argument("--trace-buffer", type=int, default=None,
+                        help="trace ring-buffer capacity in events")
 
 
 def _print_result(result) -> None:
@@ -43,32 +67,126 @@ def _print_result(result) -> None:
     )
 
 
-def cmd_scenario(args: argparse.Namespace) -> int:
-    result = run_scenario(
+def _emit_result(result, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result.to_dict()))
+    else:
+        _print_result(result)
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer:
+    kwargs = {}
+    if getattr(args, "trace_buffer", None):
+        kwargs["capacity"] = args.trace_buffer
+    if getattr(args, "engine_events", False):
+        kwargs["engine_events"] = True
+    return Tracer(**kwargs)
+
+
+def _tracing_requested(args: argparse.Namespace) -> bool:
+    return bool(args.trace_out or args.timeseries_out)
+
+
+def _run_one(args: argparse.Namespace, policy: str, tracer) -> object:
+    return run_scenario(
         args.scenario,
-        policy=args.policy,
+        policy=policy,
         spec=get_device(args.device),
         bg_case=args.bg_case,
         bg_count=args.bg,
         seconds=args.seconds,
         seed=args.seed,
+        tracer=tracer,
+        sample_interval_ms=args.sample_ms if tracer is not None else None,
     )
-    _print_result(result)
+
+
+def _write_trace_outputs(
+    args: argparse.Namespace, tracer, result, trace_path=None, ts_path=None
+) -> None:
+    trace_path = trace_path or args.trace_out
+    ts_path = ts_path or args.timeseries_out
+    if trace_path:
+        count = write_chrome_trace(
+            trace_path, tracer,
+            extra_metadata={
+                "scenario": result.scenario,
+                "policy": result.policy,
+                "device": result.device,
+                "seed": result.seed,
+            },
+        )
+        print(f"trace: {count} events -> {trace_path} "
+              f"(dropped {tracer.dropped_events})", file=sys.stderr)
+    if ts_path and result.sampler is not None:
+        rows = write_timeseries(ts_path, result.sampler)
+        print(f"timeseries: {rows} samples -> {ts_path}", file=sys.stderr)
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    tracer = _make_tracer(args) if _tracing_requested(args) else None
+    result = _run_one(args, args.policy, tracer)
+    _emit_result(result, args.json)
+    if tracer is not None:
+        _write_trace_outputs(args, tracer, result)
     return 0
 
 
+def _policy_suffixed(path: str, policy: str) -> str:
+    """Insert a filesystem-safe policy tag before the extension."""
+    safe = policy.replace("+", "_").replace("/", "_")
+    root, ext = os.path.splitext(path)
+    return f"{root}.{safe}{ext}" if ext else f"{path}.{safe}"
+
+
+def _parse_policies(spec: str) -> tuple:
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    valid = available_policies()
+    unknown = [name for name in names if name not in valid]
+    return names, unknown
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
-    for policy in args.policies.split(","):
-        result = run_scenario(
-            args.scenario,
-            policy=policy.strip(),
-            spec=get_device(args.device),
-            bg_case=args.bg_case,
-            bg_count=args.bg,
-            seconds=args.seconds,
-            seed=args.seed,
+    names, unknown = _parse_policies(args.policies)
+    if not names or unknown:
+        bad = ", ".join(repr(name) for name in unknown) or "(none given)"
+        print(
+            f"error: unknown policy {bad}; valid choices: "
+            + ", ".join(available_policies()),
+            file=sys.stderr,
         )
-        _print_result(result)
+        return 2
+    for policy in names:
+        tracer = _make_tracer(args) if _tracing_requested(args) else None
+        result = _run_one(args, policy, tracer)
+        _emit_result(result, args.json)
+        if tracer is not None:
+            # One trace file per policy so runs stay individually loadable.
+            _write_trace_outputs(
+                args, tracer, result,
+                trace_path=(_policy_suffixed(args.trace_out, policy)
+                            if args.trace_out else None),
+                ts_path=(_policy_suffixed(args.timeseries_out, policy)
+                         if args.timeseries_out else None),
+            )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced scenario and export trace + time series."""
+    tracer = _make_tracer(args)
+    result = _run_one(args, args.policy, tracer)
+    _emit_result(result, args.json)
+    _write_trace_outputs(args, tracer, result, trace_path=args.out)
+    for name, hist in sorted(tracer.histograms.items()):
+        summary = hist.summary()
+        # Diagnostics go to stderr so --json keeps stdout machine-readable.
+        print(
+            f"{name:>28}: n={hist.count:6d} mean={summary['mean']:8.3f} "
+            f"p50={summary['p50']:8.3f} p99={summary['p99']:8.3f} "
+            f"max={summary['max']:8.3f}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -92,14 +210,33 @@ def main(argv=None) -> int:
 
     p_scenario = sub.add_parser("scenario", help="run one scenario/policy")
     _add_scenario_args(p_scenario)
+    _add_trace_args(p_scenario)
     p_scenario.add_argument("--policy", default="LRU+CFS",
                             choices=available_policies())
     p_scenario.set_defaults(func=cmd_scenario)
 
     p_compare = sub.add_parser("compare", help="run several policies")
     _add_scenario_args(p_compare)
+    _add_trace_args(p_compare)
     p_compare.add_argument("--policies", default="LRU+CFS,UCSG,Acclaim,Ice")
     p_compare.set_defaults(func=cmd_compare)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one traced scenario and export a Perfetto trace"
+    )
+    _add_scenario_args(p_trace)
+    p_trace.add_argument("--policy", default="Ice",
+                         choices=available_policies())
+    p_trace.add_argument("--out", default="repro.trace.json", metavar="PATH",
+                         help="Chrome/Perfetto trace_event JSON output path")
+    p_trace.add_argument("--timeseries-out", default=None, metavar="PATH",
+                         help="also dump the sampler series (.csv or .json)")
+    p_trace.add_argument("--sample-ms", type=float, default=DEFAULT_SAMPLE_MS)
+    p_trace.add_argument("--trace-buffer", type=int, default=None)
+    p_trace.add_argument("--engine-events", action="store_true",
+                         help="include per-callback engine instants "
+                              "(high volume)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_table1 = sub.add_parser("table1", help="regenerate Table 1")
     p_table1.add_argument("--seconds", type=float, default=20.0)

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 from repro.android.app import Application, AppState, Process
 from repro.apps.behavior import BackgroundBehavior, PageSampler
 from repro.sched.task import Task, WorkItem
+from repro.trace.tracer import ACTIVITY_MANAGER_TID, SYSTEM_PID
 
 
 @dataclass
@@ -86,9 +87,36 @@ class ActivityManager:
 
         self._set_foreground(app)
 
+        tracer = system.tracer
+        launch_id = 0
+        if tracer is not None:
+            # Async span: launches can overlap frames and each other, so
+            # they get their own id-matched b/e pair on the AM track.
+            launch_id = tracer.new_flow_id()
+            tracer.async_begin(
+                f"launch:{app.package}", launch_id,
+                SYSTEM_PID, ACTIVITY_MANAGER_TID,
+                args={"style": style, "thaw_ms": record.thaw_ms},
+                cat="launch",
+            )
+            if record.thaw_ms > 0:
+                tracer.complete(
+                    "thaw_on_launch", SYSTEM_PID, ACTIVITY_MANAGER_TID,
+                    start_ms=record.start_ms, dur_ms=record.thaw_ms,
+                    args={"package": app.package}, cat="launch",
+                )
+
         def finish() -> None:
             record.end_ms = system.sim.now
             record.completed = True
+            if tracer is not None:
+                tracer.async_end(
+                    f"launch:{app.package}", launch_id,
+                    SYSTEM_PID, ACTIVITY_MANAGER_TID,
+                    args={"latency_ms": record.latency_ms},
+                    cat="launch",
+                )
+                tracer.histogram(f"launch_{style}_ms").add(record.latency_ms)
             if drive_frames and self.foreground is app:
                 sampler = self._main_sampler(app)
                 system.frame_engine.start(app, sampler)
@@ -185,6 +213,18 @@ class ActivityManager:
             behavior = BackgroundBehavior(system, process, main_task, gc_task)
             behavior.start()
             self.behaviors[process.pid] = behavior
+
+            tracer = system.tracer
+            if tracer is not None:
+                tracer.register_process(process.pid, name)
+                # tid 0 carries kernel-side events (refaults) attributed
+                # to this process.
+                tracer.register_thread(process.pid, 0, "mm-events")
+                for task_obj in process.tasks:
+                    tracer.register_thread(
+                        process.pid, task_obj.tid, task_obj.name
+                    )
+                system.fault_handler.pid_names[process.pid] = profile.package
         system.policy.on_app_started(app)
 
     def _main_sampler(self, app: Application) -> PageSampler:
@@ -223,9 +263,22 @@ class ActivityManager:
                 stall += system.allocate_pages(process, pages)
             return stall
 
-        task.submit(WorkItem(cpu_ms=cpu_total * 0.3, touch=read_code, label="cold-io"))
+        tracer = system.tracer
+
+        def phase_done(phase: str):
+            if tracer is None:
+                return None
+            return lambda: tracer.instant(
+                f"launch_phase:{phase}", pid=SYSTEM_PID,
+                tid=ACTIVITY_MANAGER_TID, cat="launch",
+                args={"package": app.package},
+            )
+
+        task.submit(WorkItem(cpu_ms=cpu_total * 0.3, touch=read_code,
+                             on_complete=phase_done("cold-io"), label="cold-io"))
         task.submit(
-            WorkItem(cpu_ms=cpu_total * 0.4, touch=lambda: alloc(0), label="cold-alloc1")
+            WorkItem(cpu_ms=cpu_total * 0.4, touch=lambda: alloc(0),
+                     on_complete=phase_done("cold-alloc1"), label="cold-alloc1")
         )
         task.submit(
             WorkItem(

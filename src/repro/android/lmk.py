@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.android.app import Application, AppState
+from repro.trace.tracer import LMKD_TID, SYSTEM_PID
 
 
 @dataclass(frozen=True)
@@ -128,6 +129,17 @@ class LowMemoryKiller:
                 reason=reason,
             )
         )
+        tracer = self.system.tracer
+        if tracer is not None:
+            tracer.instant(
+                "lmk_kill", pid=SYSTEM_PID, tid=LMKD_TID, cat="lmk",
+                args={
+                    "package": victim.package,
+                    "adj": victim.adj,
+                    "freed_pages": freed,
+                    "reason": reason,
+                },
+            )
         return victim
 
     @property

@@ -121,6 +121,13 @@ class FrameEngine:
             raise ValueError(f"{app.package} has no main process to render from")
         self.task = Task("RenderThread", process=main, nice=self.RENDER_NICE)
         self.system.sched.add_task(self.task)
+        tracer = self.system.tracer
+        if tracer is not None:
+            tracer.register_thread(main.pid, self.task.tid, "RenderThread")
+            tracer.instant(
+                "render_session_start", pid=main.pid, tid=self.task.tid,
+                cat="frame", args={"app": app.package},
+            )
         self.stats = FrameStats(_bucket_start=self.system.sim.now)
         self._content_credit = 0.0
         self._transient_cap = max(
@@ -162,22 +169,37 @@ class FrameEngine:
         self._content_credit -= 1.0
         stats = self.stats
         now = self.system.sim.now
+        tracer = self.system.tracer
         if self.task.queue:
             # Previous frame still in flight: this frame is dropped.
             stats.record_drop(now)
+            if tracer is not None:
+                tracer.instant(
+                    "frame_drop", pid=self.task.pid, tid=self.task.tid,
+                    cat="frame",
+                )
             return
         cpu = self._rng.gauss(profile.frame_cpu_ms, profile.frame_cpu_jitter)
         cpu = max(1.0, cpu) / self.system.spec.cpu_speed
         vsync_time = now
+        task = self.task
+
+        def frame_done() -> None:
+            end = self.system.sim.now
+            latency = end - vsync_time
+            stats.record_frame(end, latency)
+            if tracer is not None:
+                tracer.complete(
+                    "frame", task.pid, task.tid,
+                    start_ms=vsync_time, dur_ms=latency,
+                    args={"missed_vsync": latency > ALERT_THRESHOLD_MS},
+                    cat="frame",
+                )
+                tracer.histogram("frame_ms").add(latency)
+
         self.task.submit(
-            WorkItem(
-                cpu_ms=cpu,
-                touch=self._frame_touch,
-                on_complete=lambda: stats.record_frame(
-                    self.system.sim.now, self.system.sim.now - vsync_time
-                ),
-                label="frame",
-            )
+            WorkItem(cpu_ms=cpu, touch=self._frame_touch,
+                     on_complete=frame_done, label="frame")
         )
 
     def _build_working_set(self, sampler) -> list:

@@ -20,7 +20,7 @@ deltas, CPU utilization and I/O counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.catalog import APP_CATALOG, SCENARIO_APPS, catalog_apps
@@ -29,6 +29,8 @@ from repro.devices.specs import MIB, DeviceSpec, huawei_p20
 from repro.policies.registry import make_policy
 from repro.sim.rng import RngStream
 from repro.system import MobileSystem
+from repro.trace.sampler import Sampler
+from repro.trace.tracer import SCENARIO_TID, SYSTEM_PID, Tracer
 
 # Scenario id → foreground application (Table 3 / §2.2.1).
 SCENARIOS: Dict[str, str] = dict(SCENARIO_APPS)
@@ -36,6 +38,19 @@ SCENARIOS: Dict[str, str] = dict(SCENARIO_APPS)
 # The paper caches 8 BG apps on the P20 and 6 on the Pixel3 ("to fully
 # fill the memory", §6.1 footnote).
 DEFAULT_BG_COUNT = {"P20": 8, "Pixel3": 6, "P40": 8, "Pixel4": 8}
+
+
+class _NullPhase:
+    """No-op context manager standing in for tracer spans when disabled."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
 
 
 class BgCase:
@@ -76,10 +91,23 @@ class ScenarioResult:
     cpu_peak: float = 0.0
     lmk_kills: int = 0
     frozen_apps: int = 0
+    # Attached when the run was traced/sampled (not part of the scalar
+    # result; excluded from to_dict()).
+    sampler: Optional[Sampler] = field(default=None, repr=False, compare=False)
 
     @property
     def bg_refault_share(self) -> float:
         return self.refault_bg / self.refault if self.refault else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable scalar view (for ``--json`` and CI diffing)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            if f.name == "sampler":
+                continue
+            out[f.name] = getattr(self, f.name)
+        out["bg_refault_share"] = self.bg_refault_share
+        return out
 
 
 def background_packages(
@@ -151,25 +179,46 @@ def run_scenario(
     seconds: float = 60.0,
     settle_s: float = 5.0,
     seed: int = 42,
+    tracer: Optional[Tracer] = None,
+    sample_interval_ms: Optional[float] = None,
 ) -> ScenarioResult:
     """Stage and measure one scenario run.
 
     ``scenario`` is an id from :data:`SCENARIOS` ("S-A".."S-D") or a
-    package name directly.
+    package name directly.  Passing a :class:`Tracer` wires tracepoints
+    through the whole stack for this run; ``sample_interval_ms``
+    additionally attaches an aligned time-series :class:`Sampler`
+    (returned on ``result.sampler``).
     """
     spec = spec or huawei_p20()
     fg_package = SCENARIOS.get(scenario, scenario)
     if bg_count is None:
         bg_count = DEFAULT_BG_COUNT.get(spec.name, 8)
-    system = MobileSystem(spec=spec, policy=make_policy(policy), seed=seed)
+    system = MobileSystem(
+        spec=spec, policy=make_policy(policy), seed=seed, tracer=tracer
+    )
     system.install_apps(catalog_apps())
     rng = system.rng.stream("scenario-bg-selection")
 
-    stage_background(system, fg_package, bg_case, bg_count, rng)
+    sampler: Optional[Sampler] = None
+    if sample_interval_ms is not None:
+        sampler = Sampler(system, interval_ms=sample_interval_ms, tracer=tracer)
+        sampler.start()
 
-    record = system.launch(fg_package)
-    system.run_until_complete(record, timeout_s=240.0)
-    system.run(seconds=settle_s)
+    def phase(name: str):
+        if tracer is None:
+            return _NULL_PHASE
+        return tracer.span(name, SYSTEM_PID, SCENARIO_TID, cat="scenario")
+
+    with phase("stage-background"):
+        stage_background(system, fg_package, bg_case, bg_count, rng)
+
+    with phase("launch-foreground"):
+        record = system.launch(fg_package)
+        system.run_until_complete(record, timeout_s=240.0)
+
+    with phase("settle"):
+        system.run(seconds=settle_s)
 
     system.reset_measurements()
     stats = system.frame_engine.stats
@@ -179,7 +228,10 @@ def run_scenario(
         stats.alerts,
         len(stats.fps_timeline),
     )
-    system.run(seconds=seconds)
+    with phase("measure"):
+        system.run(seconds=seconds)
+    if sampler is not None:
+        sampler.stop()
 
     vm = system.vmstat
     completed = stats.completed - mark[0]
@@ -217,6 +269,7 @@ def run_scenario(
         cpu_peak=system.sched.stats.peak_utilization,
         lmk_kills=system.lmk.kill_count,
         frozen_apps=frozen,
+        sampler=sampler,
     )
 
 

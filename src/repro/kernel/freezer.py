@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.trace.tracer import FREEZER_TID, KERNEL_PID
+
 # Per-process thaw latency in ms (tens of ms per *application*, which
 # typically spans ~3 processes).
 THAW_LATENCY_MS_PER_PROCESS = 12.0
@@ -31,6 +33,8 @@ class Freezer:
         # Observers are notified with (pid, frozen) after each change so
         # the scheduler can pull/push run-queue entries.
         self._observers: List[Callable[[int, bool], None]] = []
+        # Optional tracing hook (repro.trace.Tracer); None when disabled.
+        self.tracer = None
 
     def subscribe(self, callback: Callable[[int, bool], None]) -> None:
         self._observers.append(callback)
@@ -52,6 +56,7 @@ class Freezer:
             return 0.0
         self._frozen_pids.add(pid)
         self.freeze_count += 1
+        self._trace_transition("freeze", pid)
         self._notify(pid, True)
         return FREEZE_LATENCY_MS_PER_PROCESS
 
@@ -61,8 +66,19 @@ class Freezer:
             return 0.0
         self._frozen_pids.remove(pid)
         self.thaw_count += 1
+        self._trace_transition("thaw", pid)
         self._notify(pid, False)
         return THAW_LATENCY_MS_PER_PROCESS
+
+    def _trace_transition(self, kind: str, pid: int) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                kind, pid=KERNEL_PID, tid=FREEZER_TID, cat="freezer",
+                args={"pid": pid},
+            )
+            tracer.counter("frozen_processes", len(self._frozen_pids),
+                           pid=KERNEL_PID)
 
     def forget(self, pid: int) -> None:
         """Drop state for a dead process (no thaw latency, no callbacks)."""

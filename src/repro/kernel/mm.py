@@ -28,6 +28,7 @@ from repro.kernel.vmstat import VmStat
 from repro.kernel.workingset import WorkingSet
 from repro.storage.flash import FlashDevice
 from repro.storage.zram import ZramDevice, ZramFullError
+from repro.trace.tracer import DIRECT_RECLAIM_TID, KERNEL_PID
 
 
 class OutOfMemoryError(RuntimeError):
@@ -113,6 +114,8 @@ class MemoryManager:
         self.kswapd_waker: Optional[Callable[[], None]] = None
         # Set by the ActivityManager so refaults can be classified FG/BG.
         self.foreground_uid: Optional[int] = None
+        # Optional tracing hook (repro.trace.Tracer); None when disabled.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Accounting
@@ -242,10 +245,13 @@ class MemoryManager:
         # faulted in hundreds of pages) is paid for by whoever allocates
         # next — including the foreground render thread.
         attempts = 0
+        stall_entry = outcome.stall_ms
+        reclaimed_total = 0
         while self.free_pages <= self.spec.min_watermark_pages and attempts < 32:
             result = self.shrink(DIRECT_RECLAIM_BATCH, direct=True)
             outcome.stall_ms += result.cpu_ms + result.io_wait_ms
             outcome.direct_reclaims += 1
+            reclaimed_total += result.reclaimed
             self.vmstat.direct_reclaim_entries += 1
             self.vmstat.direct_reclaim_stall_ms += result.cpu_ms + result.io_wait_ms
             attempts += 1
@@ -257,6 +263,16 @@ class MemoryManager:
                         f"resident={self.resident_pages}/{self.managed_pages}"
                     )
                 break
+        tracer = self.tracer
+        if tracer is not None and attempts:
+            stall = outcome.stall_ms - stall_entry
+            tracer.complete(
+                "direct_reclaim", KERNEL_PID, DIRECT_RECLAIM_TID,
+                start_ms=self.clock(), dur_ms=stall,
+                args={"reclaimed": reclaimed_total, "entries": attempts},
+                cat="reclaim",
+            )
+            tracer.histogram("direct_reclaim_stall_ms").add(stall)
         if self.free_pages <= 0:
             self.vmstat.oom_kills += 1
             raise OutOfMemoryError(

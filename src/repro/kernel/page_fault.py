@@ -56,6 +56,11 @@ class PageFaultHandler:
 
     def __init__(self, mm: MemoryManager):
         self.mm = mm
+        # Optional tracing hook (repro.trace.Tracer); None when disabled.
+        self.tracer = None
+        # pid → package, maintained by the system layer so refault
+        # instants can attribute the faulting app by name.
+        self.pid_names: dict = {}
 
     def handle(
         self,
@@ -86,6 +91,16 @@ class PageFaultHandler:
             outcome.refault = refault
             outcome.major = True
             self._account_refault(page, refault)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "refault", pid=pid, tid=0, cat="mm", ts=now,
+                    args={
+                        "app": self.pid_names.get(pid, str(pid)),
+                        "fg": foreground,
+                        "kind": "anon" if page.is_anon else "file",
+                    },
+                )
             if page.is_anon:
                 self.mm.vmstat.pswpin += 1
                 outcome.service_ms += self.mm.zram.load(page.page_id)

@@ -17,6 +17,7 @@ from repro.kernel.mm import (
     PAGE_RECLAIM_COST_EST_MS,
     ReclaimResult,
 )
+from repro.trace.tracer import KERNEL_PID, KSWAPD_TID
 
 
 class Kswapd:
@@ -37,6 +38,8 @@ class Kswapd:
         # Hook called on wakeup so the scheduler can mark the kswapd
         # task runnable.
         self.on_wake: Optional[Callable[[], None]] = None
+        # Optional tracing hook (repro.trace.Tracer); None when disabled.
+        self.tracer = None
 
     def wake(self) -> None:
         """Wake kswapd (called by the MM when free < low watermark)."""
@@ -45,6 +48,12 @@ class Kswapd:
         self.active = True
         self.wakeups += 1
         self.mm.vmstat.kswapd_wakeups += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "kswapd_wake", pid=KERNEL_PID, tid=KSWAPD_TID, cat="reclaim",
+                args={"free_pages": self.mm.free_pages},
+            )
         if self.on_wake is not None:
             self.on_wake()
 
@@ -86,8 +95,21 @@ class Kswapd:
                 dry_rounds = 0
         self.total_reclaimed += result.reclaimed
         self.total_cpu_ms += result.cpu_ms
+        tracer = self.tracer
+        if tracer is not None and result.cpu_ms > 0:
+            tracer.complete(
+                "kswapd_reclaim", KERNEL_PID, KSWAPD_TID,
+                start_ms=self.mm.clock(), dur_ms=result.cpu_ms,
+                args={"reclaimed": result.reclaimed, "scanned": result.scanned},
+                cat="reclaim",
+            )
         if not self.mm.below_high or dry_rounds >= 3:
             self.active = False
+            if tracer is not None:
+                tracer.instant(
+                    "kswapd_sleep", pid=KERNEL_PID, tid=KSWAPD_TID, cat="reclaim",
+                    args={"free_pages": self.mm.free_pages},
+                )
             if self.on_sleep is not None:
                 self.on_sleep()
         return result

@@ -11,12 +11,14 @@ from repro.metrics.stats import mean, percentile, stddev, summarize
 from repro.metrics.tables import render_table
 from repro.sched.cfs import CpuStats
 from repro.storage.block import IoStats
+from repro.trace.histogram import Histogram
 
 __all__ = [
     "FrameStats",
     "VmStat",
     "CpuStats",
     "IoStats",
+    "Histogram",
     "mean",
     "percentile",
     "stddev",

@@ -37,13 +37,21 @@ def percentile(values: Sequence[float], pct: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
-def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """mean / std / min / p50 / p90 / max in one dict."""
+def summarize(values) -> Dict[str, float]:
+    """mean / std / min / p50 / p90 / p99 / max in one dict.
+
+    Accepts a plain sequence of samples or anything exposing a
+    ``summary()`` method with the same shape — notably the log-bucketed
+    :class:`repro.trace.histogram.Histogram`.
+    """
+    if hasattr(values, "summary"):
+        return values.summary()
     return {
         "mean": mean(values),
         "std": stddev(values),
         "min": min(values) if values else 0.0,
         "p50": percentile(values, 50),
         "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
         "max": max(values) if values else 0.0,
     }

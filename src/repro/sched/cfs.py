@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.sched.task import Task, TaskState
+from repro.trace.tracer import CPU_PID
 
 QUANTUM_MS = 4.0
 
@@ -83,6 +84,8 @@ class CfsScheduler:
         # (UCSG packs demoted tasks onto fewer cores).
         self.bg_slot_limit: Optional[int] = None
         self._min_vruntime: float = 0.0
+        # Optional tracing hook (repro.trace.Tracer); None when disabled.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -147,12 +150,27 @@ class CfsScheduler:
                 little_free -= 1
                 picked.append(task)
         busy = 0.0
-        for task in picked:
+        tracer = self.tracer
+        for core, task in enumerate(picked):
             used = task.body.run(task, now, self.quantum_ms)
             if used > 0:
                 task.cpu_ms_total += used
                 task.vruntime += used * 1024.0 / task.effective_weight()
                 busy += used
+                if tracer is not None:
+                    tracer.complete(
+                        task.name, CPU_PID, core, start_ms=now, dur_ms=used,
+                        cat="sched",
+                    )
+            if tracer is not None and task.state is TaskState.BLOCKED:
+                # I/O block span on the task's own thread track, from the
+                # moment it yielded until its wakeup time.
+                tracer.complete(
+                    "blocked", task.pid if task.pid is not None else CPU_PID,
+                    task.tid, start_ms=now + used,
+                    dur_ms=max(0.0, task.blocked_until - now - used),
+                    cat="sched",
+                )
             if task.state is TaskState.RUNNABLE and not task.body.has_work(task):
                 task.state = TaskState.SLEEPING
         if picked:

@@ -32,7 +32,7 @@ class Event:
     event stays in the heap but is skipped when popped).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "popped")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -40,6 +40,7 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.popped = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -56,21 +57,32 @@ class PeriodicHandle:
     Calling :meth:`stop` prevents any further firings.
     """
 
-    __slots__ = ("stopped", "_current")
+    __slots__ = ("stopped", "_current", "_sim")
 
-    def __init__(self) -> None:
+    def __init__(self, sim: Optional["Simulator"] = None) -> None:
         self.stopped = False
         self._current: Optional[Event] = None
+        self._sim = sim
 
     def stop(self) -> None:
         self.stopped = True
         if self._current is not None:
-            self._current.cancelled = True
+            # Route through the simulator so its live-event accounting
+            # stays exact; fall back to the bare flag for handles built
+            # outside an engine (tests).
+            if self._sim is not None:
+                self._sim.cancel(self._current)
+            else:
+                self._current.cancelled = True
             self._current = None
 
 
 class Simulator:
     """Event-heap simulator with a millisecond clock starting at zero."""
+
+    # Compaction threshold: once the heap is at least this large, it is
+    # rebuilt whenever cancelled entries outnumber live ones.
+    COMPACT_MIN_HEAP = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -78,6 +90,13 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self.events_executed: int = 0
+        # Live (non-cancelled, still-queued) event count, maintained on
+        # schedule/cancel/pop so pending_count() is O(1).
+        self._live: int = 0
+        self._cancelled_in_heap: int = 0
+        # Optional tracing hook (repro.trace.Tracer); None costs one
+        # truthiness check per executed event.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -102,11 +121,29 @@ class Simulator:
         self._seq += 1
         event = Event(time, self._seq, fn, args)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event.  Cancelling twice is harmless."""
+        if event.cancelled:
+            return
         event.cancelled = True
+        if event.popped:
+            return  # already executed or discarded; nothing queued to count
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_HEAP
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortised O(n))."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def every(
         self,
@@ -122,7 +159,7 @@ class Simulator:
         """
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
-        handle = PeriodicHandle()
+        handle = PeriodicHandle(self)
 
         def tick() -> None:
             if handle.stopped:
@@ -142,17 +179,24 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` when idle."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).popped = True
+            self._cancelled_in_heap -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` when idle."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.popped = True
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            self._live -= 1
             self.now = event.time
             self.events_executed += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.engine_event(event.time, event.fn)
             event.fn(*event.args)
             return True
         return False
@@ -189,5 +233,5 @@ class Simulator:
                 raise SimulationError(f"exceeded max_events={max_events}")
 
     def pending_count(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return self._live

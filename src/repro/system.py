@@ -69,11 +69,18 @@ class MobileSystem:
         policy=None,
         seed: int = 42,
         framework_base_utilization: float = 0.42,
+        tracer=None,
     ):
         self.spec = spec or huawei_p20()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         self.seed = seed
+        # Tracing is opt-in: when no Tracer is supplied every component's
+        # hook stays None and tracepoints cost one truthiness check.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.sim.now)
+            self.sim.tracer = tracer
 
         # --- storage + memory management -------------------------------
         self.zram = ZramDevice(
@@ -90,11 +97,22 @@ class MobileSystem:
         self.proc_reclaim = PerProcessReclaim(self.mm)
         self.kswapd = Kswapd(self.mm)
         self.mm.kswapd_waker = self.kswapd.wake
+        if tracer is not None:
+            self.mm.tracer = tracer
+            self.kswapd.tracer = tracer
+            self.fault_handler.tracer = tracer
 
         # --- scheduling --------------------------------------------------
         self.sched = CfsScheduler(cores=self.spec.cores)
         self.freezer = Freezer()
         self.freezer.subscribe(self._on_freeze_change)
+        if tracer is not None:
+            self.sched.tracer = tracer
+            self.freezer.tracer = tracer
+            from repro.trace.tracer import CPU_PID
+
+            for core in range(self.spec.cores):
+                tracer.register_thread(CPU_PID, core, f"cpu{core}")
         self._kswapd_task = Task(
             "kswapd0", process=None, nice=0, is_kernel=True,
             body=_KswapdBody(self.kswapd),

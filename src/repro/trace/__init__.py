@@ -1,0 +1,50 @@
+"""Simulator-wide tracing and telemetry.
+
+The subsystem has four parts:
+
+* :class:`~repro.trace.tracer.Tracer` — typed tracepoints (counter,
+  instant, duration span, complete slice, flow/async) over a bounded
+  ring buffer, zero-overhead when a component's tracer is ``None``;
+* :class:`~repro.trace.histogram.Histogram` — log-bucketed latency
+  distributions (frame times, reclaim/stall latencies);
+* :class:`~repro.trace.sampler.Sampler` — periodic, interval-aligned
+  time series of memory/FPS/CPU state;
+* :mod:`repro.trace.export` — Chrome/Perfetto ``trace_event`` JSON and
+  CSV/JSON time-series writers.
+
+See README.md ("Tracing & telemetry") for the end-to-end workflow.
+"""
+
+from repro.trace.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_timeseries,
+    write_timeseries_csv,
+    write_timeseries_json,
+)
+from repro.trace.histogram import Histogram
+from repro.trace.sampler import Sampler
+from repro.trace.tracer import (
+    CPU_PID,
+    KERNEL_PID,
+    SYSTEM_PID,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "Histogram",
+    "Sampler",
+    "KERNEL_PID",
+    "CPU_PID",
+    "SYSTEM_PID",
+    "chrome_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "write_timeseries",
+    "write_timeseries_csv",
+    "write_timeseries_json",
+]

@@ -1,0 +1,142 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and flat
+time-series dumps.
+
+The Chrome format is the JSON array flavour documented in the
+trace-event spec and accepted by ``ui.perfetto.dev`` and
+``chrome://tracing``: ``{"traceEvents": [...], "displayTimeUnit":
+"ms"}`` where each event carries ``ph``/``ts``/``pid``/``tid`` and
+timestamps are **microseconds**.  Process/thread metadata (``M``
+events) map the simulator's track ids to human names, so the Perfetto
+UI shows "kernel / kswapd0" and "com.tencent.tmgp.pubgmhd /
+RenderThread" instead of bare integers.
+
+Time-series exports take a :class:`~repro.trace.sampler.Sampler` and
+write either CSV (one row per sample, header first) or JSON (one
+equal-length array per series) for offline plotting and run diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.trace.sampler import Sampler
+from repro.trace.tracer import (
+    PH_ASYNC_BEGIN,
+    PH_ASYNC_END,
+    PH_COMPLETE,
+    PH_FLOW_END,
+    PH_FLOW_START,
+    PH_INSTANT,
+    TraceEvent,
+    Tracer,
+)
+
+MS_TO_US = 1000.0
+
+
+def _metadata_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for pid, name in sorted(tracer.process_names.items()):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+    for (pid, tid), name in sorted(tracer.thread_names.items()):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+    return events
+
+
+def _event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": event.name,
+        "ph": event.ph,
+        "ts": event.ts * MS_TO_US,
+        "pid": event.pid,
+        "tid": event.tid,
+        "cat": event.cat or "default",
+    }
+    if event.ph == PH_COMPLETE:
+        out["dur"] = event.dur * MS_TO_US
+    if event.ph == PH_INSTANT:
+        out["s"] = "t"  # thread-scoped instant
+    if event.ph in (PH_FLOW_START, PH_FLOW_END, PH_ASYNC_BEGIN, PH_ASYNC_END):
+        out["id"] = event.flow_id
+    if event.args:
+        out["args"] = event.args
+    return out
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """All events (metadata first) as trace-event dicts, ts in µs."""
+    events = _metadata_events(tracer)
+    events.extend(_event_to_dict(event) for event in tracer.events)
+    return events
+
+
+def chrome_trace_document(
+    tracer: Tracer, extra_metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The full JSON-object document Perfetto/chrome://tracing loads."""
+    other: Dict[str, Any] = {
+        "events_emitted": tracer.events_emitted,
+        "events_dropped": tracer.dropped_events,
+        "buffer_capacity": tracer.capacity,
+    }
+    if tracer.histograms:
+        other["histograms"] = {
+            name: hist.summary() for name, hist in tracer.histograms.items()
+        }
+    if extra_metadata:
+        other.update(extra_metadata)
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, extra_metadata: Optional[Dict[str, Any]] = None
+) -> int:
+    """Write the Perfetto-loadable JSON file; returns the event count."""
+    document = chrome_trace_document(tracer, extra_metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Flat time-series dumps
+# ----------------------------------------------------------------------
+def write_timeseries_csv(path: str, sampler: Sampler) -> int:
+    """One row per sample; returns the row count."""
+    rows = sampler.rows()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(",".join(sampler.header()) + "\n")
+        for row in rows:
+            handle.write(",".join(_format_cell(value) for value in row) + "\n")
+    return len(rows)
+
+
+def _format_cell(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def write_timeseries_json(path: str, sampler: Sampler) -> int:
+    """Column-major JSON (one array per series); returns the sample count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sampler.as_dict(), handle)
+    return sampler.sample_count
+
+
+def write_timeseries(path: str, sampler: Sampler) -> int:
+    """Dispatch on extension: ``.csv`` → CSV, anything else → JSON."""
+    if path.endswith(".csv"):
+        return write_timeseries_csv(path, sampler)
+    return write_timeseries_json(path, sampler)

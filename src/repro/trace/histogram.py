@@ -1,0 +1,121 @@
+"""Log-bucketed latency histogram.
+
+Latency distributions in this simulator span four orders of magnitude
+(a 2 µs fault-entry overhead up to multi-hundred-ms reclaim stalls), so
+buckets grow geometrically: bucket ``i`` covers
+``[min_value * growth**i, min_value * growth**(i+1))``, giving constant
+*relative* resolution the way HDR-style histograms do.  Memory is a
+small dict however many samples arrive, which is what lets the tracer
+keep one histogram per latency source for an entire run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+class Histogram:
+    """Fixed-growth log histogram over positive values.
+
+    Values at or below ``min_value`` land in bucket 0; there is no upper
+    bound (buckets are created on demand).  Percentiles are estimated by
+    walking the cumulative counts and interpolating linearly inside the
+    winning bucket, so accuracy is bounded by the growth factor.
+    """
+
+    def __init__(self, min_value: float = 0.001, growth: float = 2.0):
+        if min_value <= 0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        if growth <= 1.0:
+            raise ValueError(f"growth must exceed 1.0, got {growth}")
+        self.min_value = min_value
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._counts: Dict[int, int] = {}
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    # ------------------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return 1 + int(math.log(value / self.min_value) / self._log_growth)
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """[lo, hi) covered by bucket ``index`` (bucket 0 starts at 0)."""
+        if index <= 0:
+            return (0.0, self.min_value)
+        return (
+            self.min_value * self.growth ** (index - 1),
+            self.min_value * self.growth ** index,
+        )
+
+    def add(self, value: float) -> None:
+        """Record one sample (negative values clamp to bucket 0)."""
+        index = self._index(value) if value > 0 else 0
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[float, float, int]]:
+        """Non-empty buckets as (lo, hi, count), ascending."""
+        return [
+            (*self.bucket_bounds(index), count)
+            for index, count in sorted(self._counts.items())
+        ]
+
+    def percentile(self, pct: float) -> float:
+        """Estimated value at percentile ``pct`` in [0, 100]."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile {pct} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if pct == 0.0:
+            return self.min
+        target = pct / 100.0 * self.count
+        seen = 0
+        for index, count in sorted(self._counts.items()):
+            seen += count
+            if seen >= target:
+                lo, hi = self.bucket_bounds(index)
+                # Interpolate within the bucket; clamp to observed range
+                # so single-bucket histograms report sane extremes.
+                frac = 1.0 - (seen - target) / count
+                estimate = lo + (hi - lo) * frac
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """The same shape :func:`repro.metrics.stats.summarize` returns."""
+        if self.count == 0:
+            return {
+                "mean": 0.0, "std": 0.0, "min": 0.0,
+                "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0,
+            }
+        return {
+            "mean": self.mean,
+            "std": 0.0,  # not tracked bucket-wise; use raw series if needed
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram n={self.count} mean={self.mean:.3f}>"

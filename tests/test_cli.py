@@ -1,8 +1,11 @@
 """Tests for the `python -m repro` CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.policies.registry import available_policies
 
 
 def test_overhead_command(capsys):
@@ -39,3 +42,92 @@ def test_unknown_policy_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_scenario_json_output(capsys):
+    code = main([
+        "scenario", "--scenario", "S-A", "--policy", "LRU+CFS",
+        "--bg-case", "bg-null", "--seconds", "5", "--seed", "3", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenario"] == "S-A"
+    assert payload["policy"] == "LRU+CFS"
+    for key in ("fps", "ria", "refault", "bg_refault_share", "lmk_kills"):
+        assert key in payload
+
+
+def test_compare_json_emits_one_object_per_run(capsys):
+    code = main([
+        "compare", "--scenario", "S-A", "--policies", "LRU+CFS,Ice",
+        "--bg-case", "bg-null", "--seconds", "5", "--json",
+    ])
+    assert code == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    payloads = [json.loads(line) for line in lines]
+    assert [p["policy"] for p in payloads] == ["LRU+CFS", "Ice"]
+
+
+def test_compare_rejects_unknown_policy(capsys):
+    code = main([
+        "compare", "--scenario", "S-A", "--policies", "LRU+CFS,NoSuchPolicy",
+        "--seconds", "5",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "NoSuchPolicy" in err
+    for name in available_policies():
+        assert name in err
+
+
+def test_compare_rejects_empty_policy_list(capsys):
+    code = main(["compare", "--policies", ",", "--seconds", "5"])
+    assert code == 2
+    assert "valid choices" in capsys.readouterr().err
+
+
+def test_scenario_trace_out_writes_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.json"
+    series_path = tmp_path / "run.csv"
+    code = main([
+        "scenario", "--scenario", "S-A", "--policy", "Ice",
+        "--seconds", "5", "--seed", "3",
+        "--trace-out", str(trace_path),
+        "--timeseries-out", str(series_path),
+    ])
+    assert code == 0
+    document = json.loads(trace_path.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"]["policy"] == "Ice"
+    events = document["traceEvents"]
+    names = {event["name"] for event in events}
+    phases = {event["ph"] for event in events}
+    assert {"M", "X", "C"} <= phases
+    assert "free_mem" in names and "fps" in names
+    assert series_path.read_text().startswith("time_ms,")
+
+
+def test_compare_trace_out_is_per_policy(tmp_path, capsys):
+    trace_path = tmp_path / "cmp.trace.json"
+    code = main([
+        "compare", "--scenario", "S-A", "--policies", "LRU+CFS,Ice",
+        "--bg-case", "bg-null", "--seconds", "5",
+        "--trace-out", str(trace_path),
+    ])
+    assert code == 0
+    assert (tmp_path / "cmp.trace.LRU_CFS.json").exists()
+    assert (tmp_path / "cmp.trace.Ice.json").exists()
+
+
+def test_trace_command_runs(tmp_path, capsys):
+    out_path = tmp_path / "ice.trace.json"
+    code = main([
+        "trace", "--scenario", "S-A", "--policy", "Ice",
+        "--seconds", "5", "--out", str(out_path),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "fps" in captured.out
+    assert "trace:" in captured.err
+    document = json.loads(out_path.read_text())
+    assert document["traceEvents"]

@@ -43,9 +43,44 @@ def test_percentile_empty():
 
 def test_summarize_keys():
     summary = summarize([1.0, 2.0, 3.0])
-    assert set(summary) == {"mean", "std", "min", "p50", "p90", "max"}
+    assert set(summary) == {"mean", "std", "min", "p50", "p90", "p99", "max"}
     assert summary["min"] == 1.0
     assert summary["max"] == 3.0
+
+
+def test_summarize_p99():
+    values = list(range(101))  # 0..100
+    summary = summarize(values)
+    assert summary["p99"] == 99.0
+
+
+def test_summarize_empty():
+    summary = summarize([])
+    assert summary["mean"] == 0.0
+    assert summary["p99"] == 0.0
+
+
+def test_summarize_delegates_to_histogram():
+    from repro.metrics import Histogram
+
+    hist = Histogram()
+    for value in (1.0, 2.0, 4.0, 8.0):
+        hist.add(value)
+    summary = summarize(hist)
+    assert set(summary) == {"mean", "std", "min", "p50", "p90", "p99", "max"}
+    assert summary["mean"] == pytest.approx(3.75)
+    assert summary["max"] == 8.0
+
+
+def test_percentile_bounds():
+    values = [3.0, 1.0, 2.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 3.0
+
+
+def test_percentile_rejects_negative():
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
 
 
 def test_render_table_alignment():

@@ -185,3 +185,61 @@ def test_events_executed_counter():
         sim.schedule(1.0, lambda: None)
     sim.run_until(2.0)
     assert sim.events_executed == 4
+
+
+def test_pending_count_is_live_counter():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_count() == 10
+    sim.cancel(events[3])
+    sim.cancel(events[3])  # double-cancel must not double-decrement
+    assert sim.pending_count() == 9
+    sim.run_until(5.0)  # executes events 1..5 except the cancelled one
+    assert sim.pending_count() == 5
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_cancel_after_execution_is_harmless():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run_until(1.5)
+    sim.cancel(event)  # already executed
+    assert sim.pending_count() == 1
+
+
+def test_periodic_stop_keeps_count_exact():
+    sim = Simulator()
+    handle = sim.every(10.0, lambda: None)
+    sim.run_until(35.0)
+    assert sim.pending_count() == 1  # the armed next tick
+    handle.stop()
+    assert sim.pending_count() == 0
+
+
+def test_heap_compaction_drops_cancelled_events():
+    sim = Simulator()
+    keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+    doomed = [sim.schedule(500.0 + i, lambda: None) for i in range(200)]
+    for event in doomed:
+        sim.cancel(event)
+    # Cancelled events outnumbered live ones, so the heap was rebuilt
+    # (compaction stops once the heap drops under COMPACT_MIN_HEAP).
+    assert len(keep) <= len(sim._heap) < Simulator.COMPACT_MIN_HEAP
+    assert sim.pending_count() == 10
+    sim.run()
+    assert sim.events_executed == 10
+
+
+def test_compaction_preserves_order():
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.schedule(float(100 - i), lambda i=i: fired.append(100 - i))
+        for i in range(100)
+    ]
+    for event in events[::2]:
+        sim.cancel(event)
+    sim.run()
+    assert fired == sorted(fired)

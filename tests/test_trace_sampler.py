@@ -1,0 +1,89 @@
+"""Tier-2 tests for the time-series sampler and its exporters."""
+
+import json
+
+from repro.apps.catalog import catalog_apps
+from repro.system import MobileSystem
+from repro.trace.export import write_timeseries_csv, write_timeseries_json
+from repro.trace.sampler import ALL_SERIES, Sampler
+from repro.trace.tracer import Tracer
+
+import pytest
+
+
+def _small_system(tracer=None):
+    system = MobileSystem(tracer=tracer)
+    system.install_apps(catalog_apps())
+    return system
+
+
+def test_sampler_timestamps_align_to_interval():
+    system = _small_system()
+    # Start mid-interval: ticks must still land on exact multiples.
+    system.run_ms(137.0)
+    sampler = Sampler(system, interval_ms=50.0).start()
+    system.run_ms(400.0)
+    assert sampler.sample_count > 0
+    assert all(t % 50.0 == 0.0 for t in sampler.times)
+    assert sampler.times[0] == 150.0
+    # Consecutive samples are exactly one interval apart.
+    deltas = [b - a for a, b in zip(sampler.times, sampler.times[1:])]
+    assert all(d == 50.0 for d in deltas)
+
+
+def test_sampler_series_stay_aligned():
+    system = _small_system()
+    sampler = Sampler(system, interval_ms=100.0).start()
+    record = system.launch("WhatsApp")
+    system.run_until_complete(record, timeout_s=60.0)
+    system.run(seconds=2.0)
+    n = sampler.sample_count
+    for name in ALL_SERIES:
+        assert len(sampler.series[name]) == n, name
+    data = sampler.as_dict()
+    assert len(data["time_ms"]) == n
+    # A launch allocates memory: the resident gauge must move.
+    assert max(data["resident_pages"]) > 0
+
+
+def test_sampler_emits_counter_tracks():
+    tracer = Tracer()
+    system = _small_system(tracer=tracer)
+    sampler = Sampler(system, interval_ms=100.0).start()
+    system.run(seconds=1.0)
+    counters = {e.name for e in tracer.events if e.ph == "C"}
+    assert {"free_mem", "fps", "cpu_utilization"} <= counters
+    sampler.stop()
+    before = len(tracer.events)
+    system.run(seconds=1.0)
+    after = [e for e in list(tracer.events)[before:] if e.ph == "C"]
+    assert not after  # stop() really disarms the periodic tick
+
+
+def test_sampler_rejects_bad_interval():
+    system = _small_system()
+    with pytest.raises(ValueError):
+        Sampler(system, interval_ms=0.0)
+
+
+def test_timeseries_csv_round_trip(tmp_path):
+    system = _small_system()
+    sampler = Sampler(system, interval_ms=100.0).start()
+    system.run(seconds=1.0)
+    path = tmp_path / "series.csv"
+    rows = write_timeseries_csv(str(path), sampler)
+    lines = path.read_text().strip().splitlines()
+    assert lines[0].split(",") == Sampler.header()
+    assert len(lines) == rows + 1
+    assert rows == sampler.sample_count
+
+
+def test_timeseries_json_round_trip(tmp_path):
+    system = _small_system()
+    sampler = Sampler(system, interval_ms=100.0).start()
+    system.run(seconds=1.0)
+    path = tmp_path / "series.json"
+    count = write_timeseries_json(str(path), sampler)
+    data = json.loads(path.read_text())
+    assert set(data) == {"time_ms", *ALL_SERIES}
+    assert len(data["time_ms"]) == count
