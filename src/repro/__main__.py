@@ -6,6 +6,9 @@ Examples::
     python -m repro scenario --scenario S-A --policy Ice --trace-out ice.trace.json
     python -m repro compare --scenario S-D --seconds 45 --json
     python -m repro trace --scenario S-B --policy Ice --out ice.trace.json
+    python -m repro dump --scenario S-B --seconds 15 --format json
+    python -m repro watch --scenario S-C --policy Ice --every 1.0
+    python -m repro bench --smoke
     python -m repro table1
     python -m repro overhead
 """
@@ -190,6 +193,92 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dump(args: argparse.Namespace) -> int:
+    """Run a scenario, then render its virtual /proc (text or JSON)."""
+    result = _run_one(args, args.policy, None)
+    procfs = result.system.procfs
+    if args.format == "json":
+        doc = {
+            "meta": {
+                "scenario": result.scenario,
+                "policy": result.policy,
+                "device": result.device,
+                "bg_case": result.bg_case,
+                "seed": result.seed,
+                "sim_ms": result.system.sim.now,
+            },
+            "proc": procfs.snapshot(),
+        }
+        print(json.dumps(doc, indent=2 if args.pretty else None))
+    elif args.paths:
+        print(procfs.dump_text(args.paths))
+    else:
+        print(procfs.dump_text())
+    return 0
+
+
+_WATCH_COLUMNS = (
+    # (header, row key, format)
+    ("time_s", None, "{:8.1f}"),
+    ("free_pg", "free_pages", "{:8.0f}"),
+    ("avail_pg", "available_pages", "{:8.0f}"),
+    ("fps", "fps", "{:6.1f}"),
+    ("cpu%", "cpu_utilization", "{:6.1f}"),
+    ("refault", "refault_total", "{:8.0f}"),
+    ("pgsteal", "pgsteal", "{:8.0f}"),
+    ("mem.some", "psi_mem_some_avg10", "{:8.2f}"),
+    ("mem.full", "psi_mem_full_avg10", "{:8.2f}"),
+    ("io.some", "psi_io_some_avg10", "{:8.2f}"),
+    ("cpu.some", "psi_cpu_some_avg10", "{:8.2f}"),
+    ("frozen", "frozen_processes", "{:6.0f}"),
+)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Run a scenario printing an interval-sampled live table."""
+    header = " ".join(
+        title.rjust(len(fmt.format(0))) for title, _key, fmt in _WATCH_COLUMNS
+    )
+    print(header)
+    state = {"rows": 0}
+
+    def emit(now_ms: float, row: dict) -> None:
+        cells = []
+        for _title, key, fmt in _WATCH_COLUMNS:
+            if key is None:
+                value = now_ms / 1000.0
+            elif key == "cpu_utilization":
+                value = row[key] * 100.0
+            else:
+                value = row[key]
+            cells.append(fmt.format(value))
+        print(" ".join(cells))
+        state["rows"] += 1
+        if state["rows"] % 20 == 0:
+            print(header)
+
+    result = run_scenario(
+        args.scenario,
+        policy=args.policy,
+        spec=get_device(args.device),
+        bg_case=args.bg_case,
+        bg_count=args.bg,
+        seconds=args.seconds,
+        seed=args.seed,
+        sample_interval_ms=args.every * 1000.0,
+        on_sample=emit,
+    )
+    print(f"# {state['rows']} samples over {args.seconds:.0f}s measured window")
+    _emit_result(result, args.json)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import main as bench_main
+
+    return bench_main(args)
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     rows = table1(seconds=args.seconds, rounds=args.rounds)
     print(format_table1(rows))
@@ -237,6 +326,44 @@ def main(argv=None) -> int:
                          help="include per-callback engine instants "
                               "(high volume)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_dump = sub.add_parser(
+        "dump",
+        help="run a scenario, then print its virtual /proc "
+             "(meminfo, vmstat, pressure/*, per-app memcg files)",
+    )
+    _add_scenario_args(p_dump)
+    p_dump.add_argument("--policy", default="LRU+CFS",
+                        choices=available_policies())
+    p_dump.add_argument("--format", default="text", choices=["text", "json"],
+                        help="text: Linux-flavoured proc files; "
+                             "json: one structured document")
+    p_dump.add_argument("--pretty", action="store_true",
+                        help="indent the JSON output")
+    p_dump.add_argument("--paths", nargs="*", default=None, metavar="PATH",
+                        help="only these proc paths (text mode), e.g. "
+                             "pressure/memory memcg/TikTok/memory.stat")
+    p_dump.set_defaults(func=cmd_dump, seconds=15.0)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="run a scenario printing a live interval-sampled table "
+             "(free memory, FPS, PSI avg10s, refaults)",
+    )
+    _add_scenario_args(p_watch)
+    p_watch.add_argument("--policy", default="LRU+CFS",
+                         choices=available_policies())
+    p_watch.add_argument("--every", type=float, default=1.0, metavar="SECONDS",
+                         help="sampling interval in simulated seconds")
+    p_watch.set_defaults(func=cmd_watch)
+
+    p_bench = sub.add_parser(
+        "bench", help="self-profiling benchmark harness (repro.bench)"
+    )
+    from repro.bench.runner import add_bench_args
+
+    add_bench_args(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
 
     p_table1 = sub.add_parser("table1", help="regenerate Table 1")
     p_table1.add_argument("--seconds", type=float, default=20.0)

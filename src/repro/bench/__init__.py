@@ -1,0 +1,22 @@
+"""Self-profiling benchmark harness (``python -m repro.bench``).
+
+Runs a fixed scenario matrix and reports, per cell, both *simulator*
+performance (wall-clock seconds, simulated events per wall second, peak
+RSS) and *paper-facing* results (FPS mean/p5/p95, refault counts,
+launch latency, LMK kills), into a schema-versioned ``BENCH_<date>.json``
+artifact that CI uploads and humans diff across commits.
+"""
+
+from repro.bench.runner import (
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    run_bench,
+    write_bench_file,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchConfig",
+    "run_bench",
+    "write_bench_file",
+]

@@ -1,0 +1,14 @@
+"""``python -m repro.bench`` — standalone entry to the bench harness."""
+
+import argparse
+import sys
+
+from repro.bench.runner import add_bench_args, main
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="self-profiling benchmark harness",
+    )
+    add_bench_args(parser)
+    sys.exit(main(parser.parse_args()))

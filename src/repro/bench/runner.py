@@ -1,0 +1,219 @@
+"""The benchmark runner: matrix execution, measurement, JSON artifact.
+
+Each matrix cell is one ``run_scenario`` invocation.  The harness
+profiles the *simulator itself* — wall time, simulated events per wall
+second, peak RSS — alongside the paper-facing metrics of the run, so a
+commit that slows the event loop or regresses FPS shows up in the same
+artifact.
+
+The artifact is schema-versioned (:data:`BENCH_SCHEMA_VERSION` bumps on
+any shape change) so downstream tooling can diff BENCH files across
+months of commits without guessing at their layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.devices.specs import get_device
+from repro.experiments.scenarios import BgCase, SCENARIOS, run_scenario
+from repro.metrics.stats import percentile
+
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_SCENARIOS = ("S-A", "S-B", "S-C", "S-D")
+DEFAULT_POLICIES = ("LRU+CFS", "Ice")
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak RSS of this process in KiB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        return int(usage.ru_maxrss // 1024)
+    return int(usage.ru_maxrss)
+
+
+@dataclass
+class BenchConfig:
+    """One benchmark invocation's matrix and knobs."""
+
+    scenarios: tuple = DEFAULT_SCENARIOS
+    policies: tuple = DEFAULT_POLICIES
+    device: str = "P20"
+    seconds: float = 20.0
+    seed: int = 42
+    bg_case: str = BgCase.APPS
+    smoke: bool = False
+
+    @classmethod
+    def smoke_config(cls) -> "BenchConfig":
+        """The CI configuration: one short cell per policy."""
+        return cls(scenarios=("S-A",), seconds=5.0, smoke=True)
+
+
+def _run_cell(config: BenchConfig, scenario: str, policy: str) -> Dict[str, object]:
+    wall_start = time.perf_counter()
+    result = run_scenario(
+        scenario,
+        policy=policy,
+        spec=get_device(config.device),
+        bg_case=config.bg_case,
+        seconds=config.seconds,
+        seed=config.seed,
+    )
+    wall_s = time.perf_counter() - wall_start
+    timeline = result.fps_timeline
+    return {
+        "scenario": scenario,
+        "policy": policy,
+        "device": config.device,
+        "bg_case": config.bg_case,
+        "seed": config.seed,
+        "measured_seconds": config.seconds,
+        # Simulator performance.
+        "wall_s": round(wall_s, 3),
+        "events_executed": result.events_executed,
+        "events_per_sec": round(result.events_executed / wall_s) if wall_s > 0 else 0,
+        "sim_ms_per_wall_s": (
+            round(result.system.sim.now / wall_s) if wall_s > 0 else 0
+        ),
+        # Paper-facing metrics.
+        "fps": round(result.fps, 2),
+        "fps_p5": round(percentile(timeline, 5.0), 2),
+        "fps_p95": round(percentile(timeline, 95.0), 2),
+        "ria": round(result.ria, 4),
+        "launch_ms": round(result.launch_ms, 1),
+        "refault": result.refault,
+        "refault_fg": result.refault_fg,
+        "refault_bg": result.refault_bg,
+        "reclaim": result.reclaim,
+        "lmk_kills": result.lmk_kills,
+        "frozen_apps": result.frozen_apps,
+        "psi_mem_some_total_us": result.psi["memory"]["some"]["total_us"],
+        "psi_mem_full_total_us": result.psi["memory"]["full"]["total_us"],
+        "psi_io_some_total_us": result.psi["io"]["some"]["total_us"],
+        "psi_cpu_some_total_us": result.psi["cpu"]["some"]["total_us"],
+    }
+
+
+def run_bench(config: BenchConfig, progress=None) -> Dict[str, object]:
+    """Execute the matrix; returns the full artifact document."""
+    runs: List[Dict[str, object]] = []
+    for scenario in config.scenarios:
+        if scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; valid: {sorted(SCENARIOS)}"
+            )
+        for policy in config.policies:
+            cell = _run_cell(config, scenario, policy)
+            runs.append(cell)
+            if progress is not None:
+                progress(cell)
+    total_wall = sum(cell["wall_s"] for cell in runs)
+    total_events = sum(cell["events_executed"] for cell in runs)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at": _dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "smoke": config.smoke,
+        "seed": config.seed,
+        "device": config.device,
+        "measured_seconds": config.seconds,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "totals": {
+            "runs": len(runs),
+            "wall_s": round(total_wall, 3),
+            "events_executed": total_events,
+            "events_per_sec": (
+                round(total_events / total_wall) if total_wall > 0 else 0
+            ),
+            "peak_rss_kb": _peak_rss_kb(),
+        },
+        "runs": runs,
+    }
+
+
+def default_out_path() -> str:
+    return f"BENCH_{_dt.date.today().isoformat()}.json"
+
+
+def write_bench_file(doc: Dict[str, object], path: str) -> str:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def add_bench_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration: S-A only, 5 simulated seconds")
+    parser.add_argument("--scenarios", default=",".join(DEFAULT_SCENARIOS),
+                        help="comma-separated scenario ids")
+    parser.add_argument("--policies", default=",".join(DEFAULT_POLICIES),
+                        help="comma-separated policy names")
+    parser.add_argument("--device", default="P20",
+                        choices=["Pixel3", "P20", "P40", "Pixel4"])
+    parser.add_argument("--seconds", type=float, default=20.0,
+                        help="measured window per cell (simulated seconds)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help=f"artifact path (default: {'BENCH_<date>.json'})")
+
+
+def main(args: argparse.Namespace) -> int:
+    if args.smoke:
+        config = BenchConfig.smoke_config()
+        config = BenchConfig(
+            scenarios=config.scenarios,
+            policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+            device=args.device,
+            seconds=config.seconds,
+            seed=args.seed,
+            smoke=True,
+        )
+    else:
+        config = BenchConfig(
+            scenarios=tuple(s.strip() for s in args.scenarios.split(",") if s.strip()),
+            policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+            device=args.device,
+            seconds=args.seconds,
+            seed=args.seed,
+        )
+
+    def progress(cell: Dict[str, object]) -> None:
+        print(
+            f"  {cell['scenario']} / {cell['policy']:>8}: "
+            f"{cell['wall_s']:6.2f}s wall, "
+            f"{cell['events_per_sec']:>8} ev/s, "
+            f"{cell['fps']:5.1f} fps, {cell['refault']} refaults",
+            file=sys.stderr,
+        )
+
+    doc = run_bench(config, progress=progress)
+    out = args.out or default_out_path()
+    write_bench_file(doc, out)
+    totals = doc["totals"]
+    print(
+        f"bench: {totals['runs']} runs in {totals['wall_s']}s wall "
+        f"({totals['events_per_sec']} events/s, "
+        f"peak RSS {totals['peak_rss_kb']} kB) -> {out}"
+    )
+    return 0

@@ -91,9 +91,16 @@ class ScenarioResult:
     cpu_peak: float = 0.0
     lmk_kills: int = 0
     frozen_apps: int = 0
+    launch_ms: float = 0.0
+    events_executed: int = 0
+    # Final PSI state (system-wide pressure files as dicts).
+    psi: Dict[str, object] = field(default_factory=dict)
     # Attached when the run was traced/sampled (not part of the scalar
     # result; excluded from to_dict()).
     sampler: Optional[Sampler] = field(default=None, repr=False, compare=False)
+    # The live system, for post-run introspection (procfs dumps,
+    # determinism checks); excluded from to_dict().
+    system: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def bg_refault_share(self) -> float:
@@ -103,7 +110,7 @@ class ScenarioResult:
         """Machine-readable scalar view (for ``--json`` and CI diffing)."""
         out: Dict[str, object] = {}
         for f in fields(self):
-            if f.name == "sampler":
+            if f.name in ("sampler", "system"):
                 continue
             out[f.name] = getattr(self, f.name)
         out["bg_refault_share"] = self.bg_refault_share
@@ -181,6 +188,7 @@ def run_scenario(
     seed: int = 42,
     tracer: Optional[Tracer] = None,
     sample_interval_ms: Optional[float] = None,
+    on_sample=None,
 ) -> ScenarioResult:
     """Stage and measure one scenario run.
 
@@ -188,7 +196,8 @@ def run_scenario(
     package name directly.  Passing a :class:`Tracer` wires tracepoints
     through the whole stack for this run; ``sample_interval_ms``
     additionally attaches an aligned time-series :class:`Sampler`
-    (returned on ``result.sampler``).
+    (returned on ``result.sampler``), and ``on_sample(now_ms, row)`` is
+    invoked for every sample as it lands (live `repro watch` output).
     """
     spec = spec or huawei_p20()
     fg_package = SCENARIOS.get(scenario, scenario)
@@ -203,6 +212,7 @@ def run_scenario(
     sampler: Optional[Sampler] = None
     if sample_interval_ms is not None:
         sampler = Sampler(system, interval_ms=sample_interval_ms, tracer=tracer)
+        sampler.on_sample = on_sample
         sampler.start()
 
     def phase(name: str):
@@ -269,7 +279,11 @@ def run_scenario(
         cpu_peak=system.sched.stats.peak_utilization,
         lmk_kills=system.lmk.kill_count,
         frozen_apps=frozen,
+        launch_ms=record.latency_ms,
+        events_executed=system.sim.events_executed,
+        psi=system.psi.as_dict(),
         sampler=sampler,
+        system=system,
     )
 
 

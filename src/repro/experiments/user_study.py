@@ -166,17 +166,17 @@ def simulate_user(
     day_ms = day_minutes * 60_000.0
     for day in range(days):
         day_end = system.sim.now + day_ms
-        before = system.vmstat.snapshot()
+        before = system.vmstat.copy()
         while system.sim.now < day_end:
             trace.one_session()
-        delta = system.vmstat.delta_since(before)
+        delta = system.vmstat.delta(before)
         result.days.append(
             DayStats(
                 day=day + 1,
-                evicted=int(delta["pgsteal_kswapd"] + delta["pgsteal_direct"]),
-                refaulted=int(delta["refault_total"]),
-                refault_bg=int(delta["refault_bg"]),
-                refault_fg=int(delta["refault_fg"]),
+                evicted=delta.pgsteal,
+                refaulted=delta.refault_total,
+                refault_bg=delta.refault_bg,
+                refault_fg=delta.refault_fg,
             )
         )
     return result

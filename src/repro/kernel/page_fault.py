@@ -58,6 +58,11 @@ class PageFaultHandler:
         self.mm = mm
         # Optional tracing hook (repro.trace.Tracer); None when disabled.
         self.tracer = None
+        # Optional PSI hook (repro.obs.psi.PsiMonitor): the fault path is
+        # the richest stall site — it knows the uid and FG/BG context —
+        # so refault swap-ins, flash read waits, and direct-reclaim
+        # stalls are all charged to pressure from here.
+        self.psi = None
         # pid → package, maintained by the system layer so refault
         # instants can attribute the faulting app by name.
         self.pid_names: dict = {}
@@ -101,19 +106,37 @@ class PageFaultHandler:
                         "kind": "anon" if page.is_anon else "file",
                     },
                 )
+            psi = self.psi
             if page.is_anon:
                 self.mm.vmstat.pswpin += 1
-                outcome.service_ms += self.mm.zram.load(page.page_id)
+                swapin_ms = self.mm.zram.load(page.page_id)
+                outcome.service_ms += swapin_ms
+                # Swap-in decompression is thrashing work: Linux wraps
+                # it in psi_memstall_enter/leave.
+                if psi is not None:
+                    psi.record("memory", swapin_ms, start=now, uid=uid,
+                               full=foreground)
             else:
                 bio = self.mm.flash.read(now, 1, owner_pid=pid)
                 outcome.io_complete_at = bio.complete_time
                 self.mm.vmstat.filein += 1
+                if psi is not None:
+                    wait = bio.complete_time - now
+                    # A refault read stalls the task on io, and — being
+                    # working-set thrashing — counts as memory pressure
+                    # too (the kernel's workingset-refault memstall).
+                    psi.record("io", wait, start=now, uid=uid, full=foreground)
+                    psi.record("memory", wait, start=now, uid=uid,
+                               full=foreground)
         # Fresh file page (first touch) also needs a flash read.
         elif page.is_file:
             outcome.major = True
             bio = self.mm.flash.read(now, 1, owner_pid=pid)
             outcome.io_complete_at = bio.complete_time
             self.mm.vmstat.filein += 1
+            if self.psi is not None:
+                self.psi.record("io", bio.complete_time - now, start=now,
+                                uid=uid, full=foreground)
         if outcome.major:
             self.mm.vmstat.pgmajfault += 1
 
@@ -122,6 +145,11 @@ class PageFaultHandler:
         alloc = self.mm.make_resident(page, active=refault is not None)
         outcome.service_ms += alloc.stall_ms
         outcome.direct_reclaims += alloc.direct_reclaims
+        if alloc.stall_ms > 0 and self.psi is not None:
+            # Direct-reclaim + allocator-contention time charged to the
+            # faulting task (§2.2.3(2)'s priority-inversion stall).
+            self.psi.record("memory", alloc.stall_ms, start=now, uid=uid,
+                            full=foreground)
         page.mark_accessed(write=write)
         return outcome
 

@@ -40,6 +40,10 @@ class Kswapd:
         self.on_wake: Optional[Callable[[], None]] = None
         # Optional tracing hook (repro.trace.Tracer); None when disabled.
         self.tracer = None
+        # Optional PSI hook: kswapd reclaim time counts as memory
+        # pressure (the kernel marks kswapd PSI_MEMSTALL in
+        # balance_pgdat), but never as "full" — it is background work.
+        self.psi = None
 
     def wake(self) -> None:
         """Wake kswapd (called by the MM when free < low watermark)."""
@@ -95,6 +99,8 @@ class Kswapd:
                 dry_rounds = 0
         self.total_reclaimed += result.reclaimed
         self.total_cpu_ms += result.cpu_ms
+        if self.psi is not None and result.cpu_ms > 0:
+            self.psi.record("memory", result.cpu_ms, start=self.mm.clock())
         tracer = self.tracer
         if tracer is not None and result.cpu_ms > 0:
             tracer.complete(

@@ -9,7 +9,7 @@ direct-reclaim stall time.  Snapshots support windowed measurements
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict
 
 
@@ -77,6 +77,22 @@ class VmStat:
     def delta_since(self, snap: Dict[str, float]) -> Dict[str, float]:
         """Counter increments since a snapshot taken earlier."""
         return {name: getattr(self, name) - snap[name] for name in snap}
+
+    def copy(self) -> "VmStat":
+        """An independent typed snapshot (for later :meth:`delta`)."""
+        return replace(self)
+
+    def delta(self, prev: "VmStat") -> "VmStat":
+        """Typed counter increments since ``prev`` (a :meth:`copy`).
+
+        Unlike :meth:`delta_since` the result is itself a ``VmStat``, so
+        windowed measurements keep the derived properties
+        (``pgsteal``, ``refault_ratio``, ``bg_refault_share``).
+        """
+        out = VmStat()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) - getattr(prev, f.name))
+        return out
 
     def reset(self) -> None:
         for f in fields(self):

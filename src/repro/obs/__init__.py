@@ -1,0 +1,36 @@
+"""Observability: pressure-stall information and procfs-style introspection.
+
+``repro.obs`` is the simulator's "one queryable source of truth":
+
+* :mod:`repro.obs.psi` — Linux-faithful Pressure Stall Information for
+  the memory, io, and cpu resources, fed by the kernel/sched/storage
+  stall sites and exposed as ``avg10``/``avg60``/``avg300`` windows plus
+  total stall clocks, with per-app (memcg-style) breakdowns and
+  threshold triggers policies can subscribe to.
+* :mod:`repro.obs.procfs` — a virtual ``/proc`` registry rendering live
+  ``meminfo``, ``vmstat``, ``pressure/{memory,io,cpu}``, per-app memcg
+  stat files and the freezer cgroup state from the authoritative kernel
+  objects, as text or JSON.
+"""
+
+from repro.obs.psi import (
+    PSI_UPDATE_MS,
+    PsiEvent,
+    PsiGroup,
+    PsiLine,
+    PsiMonitor,
+    PsiTrigger,
+    StallClock,
+)
+from repro.obs.procfs import ProcFs
+
+__all__ = [
+    "PSI_UPDATE_MS",
+    "ProcFs",
+    "PsiEvent",
+    "PsiGroup",
+    "PsiLine",
+    "PsiMonitor",
+    "PsiTrigger",
+    "StallClock",
+]

@@ -32,6 +32,17 @@ def available_policies() -> List[str]:
     return list(_REGISTRY)
 
 
+def register_policy(name: str, factory: Callable[[], ManagementPolicy]) -> None:
+    """Register an out-of-tree policy (experiments, ablations).
+
+    Raises ``ValueError`` on a duplicate name — silently shadowing a
+    paper policy would corrupt every comparison table.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"policy {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
 def make_policy(name: str) -> ManagementPolicy:
     """Instantiate a fresh policy by its paper name."""
     try:

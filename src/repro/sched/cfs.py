@@ -86,6 +86,10 @@ class CfsScheduler:
         self._min_vruntime: float = 0.0
         # Optional tracing hook (repro.trace.Tracer); None when disabled.
         self.tracer = None
+        # Optional PSI hook: runnable-but-not-running time is cpu
+        # pressure ("some"); frozen tasks are not runnable, so freezing
+        # genuinely relieves the cpu pressure signal.
+        self.psi = None
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -149,6 +153,20 @@ class CfsScheduler:
             elif little_free > 0:
                 little_free -= 1
                 picked.append(task)
+        psi = self.psi
+        if psi is not None and len(picked) < len(runnable):
+            # At least one task waits out this whole quantum: cpu "some"
+            # pressure for the system, and for each waiting app's group.
+            psi.record("cpu", self.quantum_ms, start=now)
+            picked_ids = {id(task) for task in picked}
+            waiting_uids = set()
+            for task in runnable:
+                if id(task) in picked_ids or task.process is None:
+                    continue
+                uid = task.process.app.uid
+                if uid not in waiting_uids:
+                    waiting_uids.add(uid)
+                    psi.record("cpu", self.quantum_ms, start=now, uid=uid)
         busy = 0.0
         tracer = self.tracer
         for core, task in enumerate(picked):

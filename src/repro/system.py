@@ -31,6 +31,8 @@ from repro.kernel.page import Page
 from repro.kernel.page_fault import PageFaultHandler
 from repro.kernel.proc_reclaim import PerProcessReclaim
 from repro.kernel.reclaim import Kswapd
+from repro.obs.procfs import ProcFs
+from repro.obs.psi import PsiMonitor
 from repro.sched.cfs import CfsScheduler
 from repro.sched.task import Task, TaskBody, TaskState
 from repro.sim.engine import Simulator
@@ -82,6 +84,14 @@ class MobileSystem:
             tracer.bind_clock(lambda: self.sim.now)
             self.sim.tracer = tracer
 
+        # Pressure Stall Information is always on (recording a stall is
+        # a few float compares); its EWMA windows advance on a periodic
+        # tick of the simulated clock.
+        self.psi = PsiMonitor(clock=lambda: self.sim.now)
+        if tracer is not None:
+            self.psi.tracer = tracer
+        self.sim.every(self.psi.update_ms, self.psi.tick)
+
         # --- storage + memory management -------------------------------
         self.zram = ZramDevice(
             capacity_pages=self.spec.zram_pages,
@@ -97,6 +107,8 @@ class MobileSystem:
         self.proc_reclaim = PerProcessReclaim(self.mm)
         self.kswapd = Kswapd(self.mm)
         self.mm.kswapd_waker = self.kswapd.wake
+        self.fault_handler.psi = self.psi
+        self.kswapd.psi = self.psi
         if tracer is not None:
             self.mm.tracer = tracer
             self.kswapd.tracer = tracer
@@ -104,6 +116,7 @@ class MobileSystem:
 
         # --- scheduling --------------------------------------------------
         self.sched = CfsScheduler(cores=self.spec.cores)
+        self.sched.psi = self.psi
         self.freezer = Freezer()
         self.freezer.subscribe(self._on_freeze_change)
         if tracer is not None:
@@ -131,6 +144,9 @@ class MobileSystem:
             self, base_utilization=framework_base_utilization
         )
         self.framework.start()
+        # Virtual /proc over the live kernel objects (meminfo, vmstat,
+        # pressure/*, per-app memcg files) — the `repro dump` surface.
+        self.procfs = ProcFs(self)
         # §3.2 switch: the "idle runtime GC" feature can be disabled to
         # show GC is not the only refault source.
         self.idle_gc_disabled = False
@@ -264,15 +280,23 @@ class MobileSystem:
     def allocate_pages(self, process: Process, pages: List[Page]) -> float:
         """Make ``pages`` resident (fresh allocation); returns stall ms."""
         stall = 0.0
-        for _attempt in range(4):
-            try:
-                outcome = self.mm.make_resident_bulk(pages)
-                return stall + outcome.stall_ms
-            except OutOfMemoryError:
-                victim = self.lmk.kill_one("allocation")
-                if victim is None or victim is process.app:
+        try:
+            for _attempt in range(4):
+                try:
+                    outcome = self.mm.make_resident_bulk(pages)
+                    stall += outcome.stall_ms
                     return stall
-        return stall
+                except OutOfMemoryError:
+                    victim = self.lmk.kill_one("allocation")
+                    if victim is None or victim is process.app:
+                        return stall
+            return stall
+        finally:
+            if stall > 0:
+                self.psi.record(
+                    "memory", stall, uid=process.uid,
+                    full=process.app.state is AppState.FOREGROUND,
+                )
 
     # ------------------------------------------------------------------
     # Running

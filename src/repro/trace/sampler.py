@@ -49,8 +49,16 @@ DELTA_SERIES = (
     "alloc_stall_ms",
 )
 COMPUTED_SERIES = ("pgsteal", "fps", "cpu_utilization")
+# PSI avg10 values (percent), read from the always-on PsiMonitor.
+PSI_SERIES = (
+    "psi_mem_some_avg10",
+    "psi_mem_full_avg10",
+    "psi_io_some_avg10",
+    "psi_io_full_avg10",
+    "psi_cpu_some_avg10",
+)
 
-ALL_SERIES = GAUGE_SERIES + DELTA_SERIES + COMPUTED_SERIES
+ALL_SERIES = GAUGE_SERIES + DELTA_SERIES + COMPUTED_SERIES + PSI_SERIES
 
 
 class Sampler:
@@ -70,9 +78,13 @@ class Sampler:
         self.times: List[float] = []
         self.series: Dict[str, List[float]] = {name: [] for name in ALL_SERIES}
         self._handle = None
-        self._last_vm: Optional[Dict[str, float]] = None
+        self._last_vm = None  # typed VmStat copy
         self._last_frames = 0
         self._last_busy_ms = 0.0
+        self._last_sample_at = 0.0
+        # Optional observer called with (now_ms, row_dict) after every
+        # sample lands — the `repro watch` subcommand prints from here.
+        self.on_sample = None
 
     # ------------------------------------------------------------------
     def start(self) -> "Sampler":
@@ -82,16 +94,26 @@ class Sampler:
         sim = self.system.sim
         offset = sim.now % self.interval_ms
         first_delay = self.interval_ms - offset if offset else self.interval_ms
-        self._last_vm = self.system.vmstat.snapshot()
+        self._last_vm = self.system.vmstat.copy()
         self._last_frames = self._frames_completed()
         self._last_busy_ms = self.system.sched.stats.busy_ms_total
+        self._last_sample_at = sim.now
         self._handle = sim.every(self.interval_ms, self._tick, first_delay=first_delay)
         return self
 
     def stop(self) -> None:
+        """Disarm the tick, flushing the final partial interval.
+
+        Without the flush, activity between the last aligned tick and
+        the end of the run (up to a full interval) would silently vanish
+        from every series.
+        """
         if self._handle is not None:
             self._handle.stop()
             self._handle = None
+            now = self.system.sim.now
+            if now > self._last_sample_at:
+                self._sample(now)
 
     def _frames_completed(self) -> int:
         stats = self.system.frame_engine.stats
@@ -99,23 +121,29 @@ class Sampler:
 
     # ------------------------------------------------------------------
     def _tick(self) -> None:
+        self._sample(self.system.sim.now)
+
+    def _sample(self, now: float) -> None:
         system = self.system
-        now = system.sim.now
+        elapsed = now - self._last_sample_at
+        if elapsed <= 0:
+            return
+        self._last_sample_at = now
         vm = system.vmstat
-        snap = vm.snapshot()
-        delta = vm.delta_since(self._last_vm)
-        self._last_vm = snap
+        delta = vm.delta(self._last_vm)
+        self._last_vm = vm.copy()
 
         frames = self._frames_completed()
         frame_delta = max(0, frames - self._last_frames)
         self._last_frames = frames
-        fps = frame_delta * 1000.0 / self.interval_ms
+        fps = frame_delta * 1000.0 / elapsed
 
         busy = system.sched.stats.busy_ms_total
         busy_delta = max(0.0, busy - self._last_busy_ms)
         self._last_busy_ms = busy
-        utilization = busy_delta / (system.sched.cores * self.interval_ms)
+        utilization = busy_delta / (system.sched.cores * elapsed)
 
+        psi = system.psi.system
         lru = system.mm.lru
         row = {
             "free_pages": system.mm.free_pages,
@@ -127,12 +155,17 @@ class Sampler:
             "active_file": lru.active_file,
             "inactive_file": lru.inactive_file,
             "frozen_processes": len(system.freezer.frozen_pids),
-            "pgsteal": delta["pgsteal_kswapd"] + delta["pgsteal_direct"],
+            "pgsteal": delta.pgsteal,
             "fps": fps,
             "cpu_utilization": utilization,
+            "psi_mem_some_avg10": psi.avg10("memory") * 100.0,
+            "psi_mem_full_avg10": psi.avg10("memory", "full") * 100.0,
+            "psi_io_some_avg10": psi.avg10("io") * 100.0,
+            "psi_io_full_avg10": psi.avg10("io", "full") * 100.0,
+            "psi_cpu_some_avg10": psi.avg10("cpu") * 100.0,
         }
         for name in DELTA_SERIES:
-            row[name] = delta[name]
+            row[name] = getattr(delta, name)
 
         self.times.append(now)
         for name, value in row.items():
@@ -156,6 +189,17 @@ class Sampler:
                            pid=KERNEL_PID, ts=now)
             tracer.counter("frozen_processes", row["frozen_processes"],
                            pid=KERNEL_PID, ts=now)
+            tracer.counter("psi_memory", {"some": row["psi_mem_some_avg10"],
+                                          "full": row["psi_mem_full_avg10"]},
+                           pid=KERNEL_PID, ts=now)
+            tracer.counter("psi_io", {"some": row["psi_io_some_avg10"],
+                                      "full": row["psi_io_full_avg10"]},
+                           pid=KERNEL_PID, ts=now)
+            tracer.counter("psi_cpu", row["psi_cpu_some_avg10"],
+                           pid=KERNEL_PID, ts=now)
+
+        if self.on_sample is not None:
+            self.on_sample(now, row)
 
     # ------------------------------------------------------------------
     # Views

@@ -1,0 +1,79 @@
+"""Tier-2 tests for the self-profiling benchmark harness (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    run_bench,
+    write_bench_file,
+)
+
+_CELL_KEYS = {
+    "scenario", "policy", "device", "bg_case", "seed", "measured_seconds",
+    "wall_s", "events_executed", "events_per_sec", "sim_ms_per_wall_s",
+    "fps", "fps_p5", "fps_p95", "ria", "launch_ms",
+    "refault", "refault_fg", "refault_bg", "reclaim",
+    "lmk_kills", "frozen_apps",
+    "psi_mem_some_total_us", "psi_mem_full_total_us",
+    "psi_io_some_total_us", "psi_cpu_some_total_us",
+}
+
+
+def _tiny_config():
+    return BenchConfig(
+        scenarios=("S-A",), policies=("LRU+CFS",), seconds=2.0, seed=7
+    )
+
+
+def test_run_bench_produces_versioned_document(tmp_path):
+    doc = run_bench(_tiny_config())
+    assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+    assert doc["seed"] == 7
+    assert doc["totals"]["runs"] == 1
+    assert doc["totals"]["wall_s"] > 0
+    assert doc["totals"]["events_per_sec"] > 0
+    cell = doc["runs"][0]
+    assert set(cell) == _CELL_KEYS
+    assert cell["events_executed"] > 0
+    assert cell["wall_s"] > 0
+
+    path = write_bench_file(doc, str(tmp_path / "BENCH_test.json"))
+    assert json.loads(open(path).read()) == doc
+
+
+def test_smoke_config_is_short():
+    config = BenchConfig.smoke_config()
+    assert config.smoke
+    assert config.seconds <= 5.0
+    assert len(config.scenarios) == 1
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_bench(BenchConfig(scenarios=("S-Z",), policies=("LRU+CFS",)))
+
+
+def test_progress_callback_sees_every_cell():
+    seen = []
+    run_bench(_tiny_config(), progress=seen.append)
+    assert [c["scenario"] for c in seen] == ["S-A"]
+
+
+def test_committed_artifact_matches_current_schema():
+    """The repo carries a BENCH_*.json; it must parse under this schema."""
+    import glob
+    import os
+
+    repo_root = os.path.join(os.path.dirname(__file__), "..")
+    artifacts = sorted(glob.glob(os.path.join(repo_root, "BENCH_*.json")))
+    assert artifacts, "expected a committed BENCH_<date>.json artifact"
+    doc = json.load(open(artifacts[-1]))
+    assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+    assert doc["totals"]["runs"] >= 3
+    scenarios = {cell["scenario"] for cell in doc["runs"]}
+    assert len(scenarios) >= 3  # paper-facing metrics across ≥3 scenarios
+    for cell in doc["runs"]:
+        assert set(cell) == _CELL_KEYS

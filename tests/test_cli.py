@@ -131,3 +131,54 @@ def test_trace_command_runs(tmp_path, capsys):
     assert "trace:" in captured.err
     document = json.loads(out_path.read_text())
     assert document["traceEvents"]
+
+
+def test_dump_json_emits_proc_snapshot(capsys):
+    assert main(["dump", "--scenario", "S-A", "--seconds", "2",
+                 "--format", "json", "--seed", "5"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["meta"]["scenario"] == "S-A"
+    assert doc["meta"]["seed"] == 5
+    proc = doc["proc"]
+    assert "meminfo" in proc and "vmstat" in proc
+    for resource in ("memory", "io", "cpu"):
+        for kind in ("some", "full"):
+            line = proc["pressure"][resource][kind]
+            assert set(line) == {"avg10", "avg60", "avg300", "total_us"}
+
+
+def test_dump_text_selected_paths(capsys):
+    assert main(["dump", "--scenario", "S-A", "--seconds", "2",
+                 "--paths", "pressure/memory", "meminfo"]) == 0
+    out = capsys.readouterr().out
+    assert "==> pressure/memory <==" in out
+    assert "some avg10=" in out
+    assert "MemTotal:" in out
+
+
+def test_watch_prints_sampled_rows(capsys):
+    assert main(["watch", "--scenario", "S-A", "--seconds", "2",
+                 "--every", "1"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert "mem.some" in lines[0]  # header
+    assert "samples over" in out
+
+
+def test_bench_smoke_writes_artifact(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_ci.json"
+    assert main(["bench", "--smoke", "--policies", "LRU+CFS",
+                 "--out", str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["smoke"] is True
+    assert doc["runs"][0]["policy"] == "LRU+CFS"
+
+
+def test_same_seed_runs_are_deterministic(capsys):
+    argv = ["scenario", "--scenario", "S-A", "--seconds", "2",
+            "--seed", "99", "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(argv) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first == second

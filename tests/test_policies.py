@@ -171,3 +171,32 @@ def test_power_freezer_cycles_thaw_everything_periodically():
     # At some point in the thaw window nothing is frozen.
     # (We can't assert an instantaneous state easily; assert the cycle ran.)
     assert policy.freeze_cycles >= 1
+
+
+def test_register_policy_rejects_duplicates():
+    from repro.policies import registry
+
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register_policy("Ice", LruCfsPolicy)
+    # The original factory is untouched.
+    assert type(registry.make_policy("Ice")).__name__ == "IcePolicy"
+
+
+def test_register_policy_adds_usable_name():
+    from repro.policies import registry
+
+    name = "TestOnlyPolicy"
+    assert name not in registry.available_policies()
+    registry.register_policy(name, LruCfsPolicy)
+    try:
+        assert name in registry.available_policies()
+        assert isinstance(registry.make_policy(name), LruCfsPolicy)
+    finally:
+        registry._REGISTRY.pop(name, None)
+
+
+def test_make_policy_unknown_name_lists_choices():
+    from repro.policies import registry
+
+    with pytest.raises(KeyError, match="LRU\\+CFS"):
+        registry.make_policy("NoSuchPolicy")

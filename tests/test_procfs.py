@@ -1,0 +1,105 @@
+"""Tier-2 tests for the virtual /proc surface (repro.obs.procfs)."""
+
+import re
+
+import pytest
+
+from repro.apps.catalog import catalog_apps
+from repro.system import MobileSystem
+
+PRESSURE_LINE = re.compile(
+    r"^(some|full) avg10=\d+\.\d{2} avg60=\d+\.\d{2} avg300=\d+\.\d{2} total=\d+$"
+)
+
+
+def _loaded_system(launches=3):
+    system = MobileSystem(seed=11)
+    system.install_apps(catalog_apps())
+    for package in list(system.apps)[:launches]:
+        record = system.launch(package)
+        system.run_until_complete(record, timeout_s=240.0)
+    system.run(seconds=2.0)
+    return system
+
+
+def test_every_listed_path_is_readable():
+    system = _loaded_system()
+    paths = system.procfs.paths()
+    assert "meminfo" in paths and "vmstat" in paths
+    assert {"pressure/memory", "pressure/io", "pressure/cpu"} <= set(paths)
+    for path in paths:
+        text = system.procfs.read(path)
+        assert isinstance(text, str) and text.endswith("\n")
+
+
+def test_unknown_path_raises_keyerror():
+    system = MobileSystem(seed=1)
+    with pytest.raises(KeyError):
+        system.procfs.read("pressure/disk")
+    with pytest.raises(KeyError):
+        system.procfs.read("memcg/NotInstalled/memory.stat")
+    with pytest.raises(KeyError):
+        system.procfs.read("cmdline")
+
+
+def test_pressure_files_match_linux_format():
+    system = _loaded_system()
+    for resource in ("memory", "io", "cpu"):
+        lines = system.procfs.read(f"pressure/{resource}").strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert PRESSURE_LINE.match(line), line
+
+
+def test_meminfo_reflects_authoritative_mm_state():
+    system = _loaded_system()
+    data = system.procfs.snapshot()["meminfo"]
+    scale_kb = system.spec.memory_scale * 4
+    assert data["MemTotal_kB"] == system.mm.managed_pages * scale_kb
+    assert data["MemFree_kB"] == system.mm.free_pages * scale_kb
+    assert data["SwapTotal_kB"] == system.zram.capacity_pages * scale_kb
+    assert 0 < data["MemFree_kB"] <= data["MemTotal_kB"]
+    # LRU lists partition resident memory.
+    lru_sum = (data["Active(anon)_kB"] + data["Inactive(anon)_kB"]
+               + data["Active(file)_kB"] + data["Inactive(file)_kB"])
+    assert lru_sum <= data["MemTotal_kB"]
+
+
+def test_memcg_stat_tracks_per_app_residency():
+    system = _loaded_system(launches=2)
+    package = next(p for p in system.apps if system.apps[p].alive)
+    app = system.apps[package]
+    text = system.procfs.read(f"memcg/{package}/memory.stat")
+    data = system.procfs.snapshot()["memcg"][package]["memory.stat"]
+    assert data["uid"] == app.uid
+    assert data["resident_pages"] == app.resident_pages()
+    assert data["resident_pages"] <= data["total_pages"]
+    assert f"uid {app.uid}" in text
+
+
+def test_snapshot_structure_is_json_ready():
+    import json
+
+    system = _loaded_system()
+    snap = system.procfs.snapshot()
+    assert set(snap) == {"meminfo", "vmstat", "pressure", "memcg", "cgroup"}
+    for resource in ("memory", "io", "cpu"):
+        for kind in ("some", "full"):
+            line = snap["pressure"][resource][kind]
+            assert set(line) == {"avg10", "avg60", "avg300", "total_us"}
+    json.dumps(snap)  # must be serialisable as-is
+
+
+def test_dump_text_concatenates_selected_sections():
+    system = _loaded_system()
+    text = system.procfs.dump_text(["meminfo", "pressure/memory"])
+    assert text.startswith("==> meminfo <==")
+    assert "==> pressure/memory <==" in text
+    assert "==> vmstat <==" not in text
+
+
+def test_freezer_file_reports_frozen_processes():
+    system = _loaded_system()
+    data = system.procfs.snapshot()["cgroup"]["freezer"]
+    assert data["frozen_processes"] == len(system.freezer.frozen_pids)
+    assert set(data) == {"frozen_processes", "freeze_count", "thaw_count", "apps"}

@@ -87,3 +87,49 @@ def test_timeseries_json_round_trip(tmp_path):
     data = json.loads(path.read_text())
     assert set(data) == {"time_ms", *ALL_SERIES}
     assert len(data["time_ms"]) == count
+
+
+def test_stop_flushes_final_partial_interval():
+    system = _small_system()
+    sampler = Sampler(system, interval_ms=100.0).start()
+    record = system.launch("WhatsApp")
+    system.run_until_complete(record, timeout_s=60.0)
+    system.run_ms(1050.0 - (system.sim.now % 100.0))  # land mid-interval
+    assert system.sim.now % 100.0 == 50.0
+    before = sampler.sample_count
+    sampler.stop()
+    # The 50 ms tail between the last aligned tick and "now" is flushed
+    # as one final sample instead of being dropped.
+    assert sampler.sample_count == before + 1
+    assert sampler.times[-1] == system.sim.now
+    for name in ALL_SERIES:
+        assert len(sampler.series[name]) == sampler.sample_count, name
+    # Stopping again (or at an aligned instant) adds nothing.
+    sampler.stop()
+    assert sampler.sample_count == before + 1
+
+
+def test_stop_at_aligned_instant_adds_no_duplicate():
+    system = _small_system()
+    sampler = Sampler(system, interval_ms=100.0).start()
+    system.run_ms(500.0)
+    count = sampler.sample_count
+    sampler.stop()  # now == last tick time: nothing to flush
+    assert sampler.sample_count == count
+
+
+def test_sampler_exports_psi_series():
+    from repro.trace.sampler import PSI_SERIES
+
+    assert set(PSI_SERIES) <= set(ALL_SERIES)
+    tracer = Tracer()
+    system = _small_system(tracer=tracer)
+    sampler = Sampler(system, interval_ms=100.0).start()
+    record = system.launch("WhatsApp")
+    system.run_until_complete(record, timeout_s=60.0)
+    system.run(seconds=1.0)
+    for name in PSI_SERIES:
+        assert len(sampler.series[name]) == sampler.sample_count
+        assert all(0.0 <= v <= 100.0 for v in sampler.series[name]), name
+    counters = {e.name for e in tracer.events if e.ph == "C"}
+    assert {"psi_memory", "psi_io", "psi_cpu"} <= counters

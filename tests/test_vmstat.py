@@ -60,3 +60,36 @@ def test_reset_zeroes_everything_with_types_preserved():
     assert vm.direct_reclaim_stall_ms == 0.0
     assert isinstance(vm.pgfault, int)
     assert isinstance(vm.direct_reclaim_stall_ms, float)
+
+
+def test_typed_copy_is_detached():
+    vm = VmStat()
+    vm.pgsteal_kswapd = 10
+    snap = vm.copy()
+    vm.pgsteal_kswapd = 25
+    assert snap.pgsteal_kswapd == 10
+    assert isinstance(snap, VmStat)
+
+
+def test_typed_delta_keeps_derived_properties():
+    vm = VmStat()
+    vm.pgsteal_kswapd = 100
+    vm.pgsteal_direct = 20
+    vm.refault_total = 30
+    vm.refault_bg = 18
+    before = vm.copy()
+    vm.pgsteal_kswapd += 50
+    vm.pgsteal_direct += 10
+    vm.refault_total += 12
+    vm.refault_bg += 6
+    vm.direct_reclaim_stall_ms += 3.5
+    delta = vm.delta(before)
+    assert isinstance(delta, VmStat)
+    assert delta.pgsteal_kswapd == 50
+    assert delta.pgsteal == 60  # derived property works on the delta
+    assert delta.refault_total == 12
+    assert delta.bg_refault_share == 0.5
+    assert delta.direct_reclaim_stall_ms == 3.5
+    # The originals are untouched.
+    assert vm.pgsteal == 180
+    assert before.pgsteal == 120
