@@ -279,6 +279,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args)
 
 
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench.compare import run_compare
+
+    return run_compare(args)
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     rows = table1(seconds=args.seconds, rounds=args.rounds)
     print(format_table1(rows))
@@ -364,6 +370,19 @@ def main(argv=None) -> int:
 
     add_bench_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+    # Nested, non-required: `repro bench` alone still runs the matrix;
+    # `repro bench compare OLD NEW` runs the regression gate.
+    bench_sub = p_bench.add_subparsers(dest="bench_cmd")
+    p_bench_cmp = bench_sub.add_parser(
+        "compare", help="diff two BENCH artifacts; exit nonzero on regression"
+    )
+    p_bench_cmp.add_argument("old", help="baseline BENCH json")
+    p_bench_cmp.add_argument("new", help="candidate BENCH json")
+    p_bench_cmp.add_argument("--rel-tol", type=float, default=0.0)
+    p_bench_cmp.add_argument("--abs-tol", type=float, default=0.0)
+    p_bench_cmp.add_argument("--perf-rel-tol", type=float, default=0.25)
+    p_bench_cmp.add_argument("--fail-on-perf", action="store_true")
+    p_bench_cmp.set_defaults(func=cmd_bench_compare)
 
     p_table1 = sub.add_parser("table1", help="regenerate Table 1")
     p_table1.add_argument("--seconds", type=float, default=20.0)

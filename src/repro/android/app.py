@@ -30,6 +30,13 @@ _pid_counter = itertools.count(1000)
 _uid_counter = itertools.count(10000)  # Android app UIDs start at 10000
 
 
+def reset_process_ids(pid_start: int = 1000, uid_start: int = 10000) -> None:
+    """Restart the pid/uid sequences (see ``reset_page_ids``)."""
+    global _pid_counter, _uid_counter
+    _pid_counter = itertools.count(pid_start)
+    _uid_counter = itertools.count(uid_start)
+
+
 class AppState(enum.Enum):
     STOPPED = "stopped"
     FOREGROUND = "foreground"

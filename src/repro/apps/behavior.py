@@ -109,26 +109,38 @@ class PageSampler:
         if not self.all_pages:
             return []
         picks: List[Page] = []
+        rnd = self.rng.random
+        randbelow = self.rng.randbelow
+        append = picks.append
+        hot_pages = self.hot_pages
+        all_pages = self.all_pages
+        n_hot = len(hot_pages)
+        n_all = len(all_pages)
         for _ in range(count):
-            if self.hot_pages and self.rng.random() < hot_bias:
-                picks.append(self.rng.choice(self.hot_pages))
+            if n_hot and rnd() < hot_bias:
+                append(hot_pages[randbelow(n_hot)])
             else:
-                picks.append(self.rng.choice(self.all_pages))
+                append(all_pages[randbelow(n_all)])
         return picks
 
     def sample_burst(self, count: int, hot_bias: float = HOT_TOUCH_BIAS) -> List[Page]:
         """Sample a BG burst with the file/native/java segment mix."""
         picks: List[Page] = []
+        rnd = self.rng.random
+        randbelow = self.rng.randbelow
+        append = picks.append
         for name, weight in self.BURST_MIX:
             pages = self._segments[name]
             if not pages:
                 continue
             hot = self._hot_segments[name]
+            n_hot = len(hot)
+            n_pages = len(pages)
             for _ in range(int(count * weight)):
-                if hot and self.rng.random() < hot_bias:
-                    picks.append(self.rng.choice(hot))
+                if n_hot and rnd() < hot_bias:
+                    append(hot[randbelow(n_hot)])
                 else:
-                    picks.append(self.rng.choice(pages))
+                    append(pages[randbelow(n_pages)])
         return picks
 
     def sample_segment(self, pages: List[Page], count: int) -> List[Page]:

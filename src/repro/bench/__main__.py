@@ -1,4 +1,8 @@
-"""``python -m repro.bench`` — standalone entry to the bench harness."""
+"""``python -m repro.bench`` — standalone entry to the bench harness.
+
+``python -m repro.bench compare OLD NEW`` dispatches to the regression
+gate; anything else runs the matrix.
+"""
 
 import argparse
 import sys
@@ -6,6 +10,10 @@ import sys
 from repro.bench.runner import add_bench_args, main
 
 if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "compare":
+        from repro.bench.compare import main as compare_main
+
+        sys.exit(compare_main(sys.argv[2:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="self-profiling benchmark harness",

@@ -1,0 +1,246 @@
+"""Perf-regression gate: diff two BENCH artifacts.
+
+``python -m repro bench compare OLD NEW`` pairs up matrix cells by
+their identity key and checks every metric against a tolerance:
+
+* **Paper metrics** (fps, refaults, RIA, ...) are *determinism*
+  checks — the simulator is seeded, so any drift means behaviour
+  changed.  Default tolerance is exact; ``--rel-tol`` loosens it for
+  cross-machine comparisons of float-derived fields.  Violations are
+  regressions and fail the gate.
+* **Perf metrics** (wall_s, events_per_sec, RSS) measure the machine
+  as much as the code.  They are reported, and only fail the gate when
+  ``--fail-on-perf`` is given (with its own, looser tolerance).
+
+Exit codes: 0 clean, 1 regression(s), 2 usage/shape error — so CI can
+wire the gate as a plain job step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# Identity: which cell is this?  Cells are paired on this key.
+CELL_KEY_FIELDS = (
+    "scenario",
+    "policy",
+    "device",
+    "bg_case",
+    "seed",
+    "measured_seconds",
+)
+
+# Deterministic, paper-facing outputs: drift here is a behaviour change.
+PAPER_METRICS = (
+    "events_executed",
+    "fps",
+    "fps_p5",
+    "fps_p95",
+    "ria",
+    "launch_ms",
+    "refault",
+    "refault_fg",
+    "refault_bg",
+    "reclaim",
+    "lmk_kills",
+    "frozen_apps",
+    "psi_mem_some_total_us",
+    "psi_mem_full_total_us",
+    "psi_io_some_total_us",
+    "psi_cpu_some_total_us",
+)
+
+# Machine-dependent measurements: informational unless --fail-on-perf.
+PERF_METRICS = (
+    "wall_s",
+    "events_per_sec",
+    "sim_ms_per_wall_s",
+)
+
+
+class CompareError(ValueError):
+    """Artifact shape problems (missing cells, wrong schema...)."""
+
+
+def cell_key(cell: Dict[str, object]) -> Tuple:
+    try:
+        return tuple(cell[field] for field in CELL_KEY_FIELDS)
+    except KeyError as exc:
+        raise CompareError(f"cell is missing identity field {exc}") from exc
+
+
+def _exceeds(old: float, new: float, rel_tol: float, abs_tol: float) -> bool:
+    """True when |new - old| is outside max(abs_tol, rel_tol * |old|)."""
+    return abs(new - old) > max(abs_tol, rel_tol * abs(old))
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        doc = json.load(handle)
+    if "runs" not in doc or "schema_version" not in doc:
+        raise CompareError(f"{path} does not look like a BENCH artifact")
+    return doc
+
+
+def compare_docs(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+    perf_rel_tol: float = 0.25,
+    fail_on_perf: bool = False,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Diff two artifact documents.
+
+    Returns ``{"regressions": [...], "perf_notes": [...],
+    "missing": [...]}``.  ``regressions`` non-empty means the gate
+    fails; ``perf_notes`` are promoted into regressions when
+    ``fail_on_perf`` is set.
+    """
+    old_cells = {cell_key(c): c for c in old["runs"]}
+    new_cells = {cell_key(c): c for c in new["runs"]}
+    regressions: List[Dict[str, object]] = []
+    perf_notes: List[Dict[str, object]] = []
+    missing: List[Dict[str, object]] = []
+
+    for key, old_cell in old_cells.items():
+        new_cell = new_cells.get(key)
+        label = "/".join(str(part) for part in key)
+        if new_cell is None:
+            missing.append({"cell": label, "problem": "absent from NEW"})
+            continue
+        for metric in PAPER_METRICS:
+            if metric not in old_cell:
+                continue  # older schema without this column
+            if metric not in new_cell:
+                missing.append(
+                    {"cell": label, "problem": f"NEW lacks metric {metric}"}
+                )
+                continue
+            old_val = float(old_cell[metric])
+            new_val = float(new_cell[metric])
+            if _exceeds(old_val, new_val, rel_tol, abs_tol):
+                regressions.append(
+                    {
+                        "cell": label,
+                        "metric": metric,
+                        "old": old_cell[metric],
+                        "new": new_cell[metric],
+                        "kind": "paper",
+                    }
+                )
+        for metric in PERF_METRICS:
+            if metric not in old_cell or metric not in new_cell:
+                continue
+            old_val = float(old_cell[metric])
+            new_val = float(new_cell[metric])
+            # Only slower counts against the gate: less wall per event
+            # or more events per second is an improvement.
+            slower = (
+                new_val > old_val if metric == "wall_s" else new_val < old_val
+            )
+            if slower and _exceeds(old_val, new_val, perf_rel_tol, 0.0):
+                note = {
+                    "cell": label,
+                    "metric": metric,
+                    "old": old_cell[metric],
+                    "new": new_cell[metric],
+                    "kind": "perf",
+                }
+                if fail_on_perf:
+                    regressions.append(note)
+                else:
+                    perf_notes.append(note)
+    for key in new_cells:
+        if key not in old_cells:
+            label = "/".join(str(part) for part in key)
+            perf_notes.append({"cell": label, "problem": "absent from OLD"})
+    if missing:
+        # Shape mismatches are hard failures: a gate that silently
+        # compares nothing would always pass.
+        regressions.extend(
+            {**entry, "metric": "<shape>", "kind": "shape"} for entry in missing
+        )
+    return {
+        "regressions": regressions,
+        "perf_notes": perf_notes,
+        "missing": missing,
+    }
+
+
+def _render(entries: Iterable[Dict[str, object]], stream) -> None:
+    for entry in entries:
+        if "problem" in entry:
+            print(f"  {entry['cell']}: {entry['problem']}", file=stream)
+        else:
+            print(
+                f"  {entry['cell']}: {entry['metric']} "
+                f"{entry['old']} -> {entry['new']}",
+                file=stream,
+            )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench compare",
+        description="Diff two BENCH artifacts; exit nonzero on regression.",
+    )
+    parser.add_argument("old", help="baseline BENCH json")
+    parser.add_argument("new", help="candidate BENCH json")
+    parser.add_argument("--rel-tol", type=float, default=0.0,
+                        help="relative tolerance for paper metrics "
+                             "(default exact)")
+    parser.add_argument("--abs-tol", type=float, default=0.0,
+                        help="absolute tolerance for paper metrics")
+    parser.add_argument("--perf-rel-tol", type=float, default=0.25,
+                        help="relative tolerance for perf metrics "
+                             "(default 0.25; they depend on the machine)")
+    parser.add_argument("--fail-on-perf", action="store_true",
+                        help="perf drift beyond tolerance fails the gate "
+                             "instead of warning")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run_compare(build_parser().parse_args(argv))
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    """Gate body, shared by ``repro bench compare`` and ``-m`` entry."""
+    try:
+        old = load_artifact(args.old)
+        new = load_artifact(args.new)
+        report = compare_docs(
+            old,
+            new,
+            rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol,
+            perf_rel_tol=args.perf_rel_tol,
+            fail_on_perf=args.fail_on_perf,
+        )
+    except (CompareError, OSError, json.JSONDecodeError) as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    if report["perf_notes"]:
+        print("bench compare: perf drift (informational):", file=sys.stderr)
+        _render(report["perf_notes"], sys.stderr)
+    if report["regressions"]:
+        print("bench compare: REGRESSIONS:", file=sys.stderr)
+        _render(report["regressions"], sys.stderr)
+        print(
+            f"bench compare: FAIL "
+            f"({len(report['regressions'])} regression(s) "
+            f"{args.old} -> {args.new})",
+            file=sys.stderr,
+        )
+        return 1
+    cells = len(old["runs"])
+    print(f"bench compare: OK ({cells} cells, {args.old} -> {args.new})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

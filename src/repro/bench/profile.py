@@ -1,0 +1,98 @@
+"""Micro-profiling mode for the benchmark matrix.
+
+``python -m repro bench --profile`` runs every matrix cell under
+:mod:`cProfile` and embeds the top-N functions by cumulative time in
+the artifact, next to the cell's wall/events numbers.  This is the
+feedback loop for hot-path work on the simulator: the same command
+that measures events/sec names the functions responsible for it.
+
+Profiling is always serial — the profiler hook is per-process state
+and its overhead (roughly 1.5-2x) would poison a pooled wall-clock
+comparison anyway.  Treat the ``wall_s`` fields of a profiled artifact
+as relative, not absolute.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Dict, List, Tuple
+
+_SRC_MARKER = "/src/repro/"
+
+
+def _short_location(filename: str, lineno: int, funcname: str) -> str:
+    """Render one pstats key as ``repro/...:123(name)``."""
+    if filename.startswith("~"):  # builtins render as "~"
+        return f"{{{funcname}}}"
+    idx = filename.find(_SRC_MARKER)
+    if idx >= 0:
+        filename = "repro/" + filename[idx + len(_SRC_MARKER):]
+    else:
+        # Stdlib / site-packages: keep the basename only.
+        filename = filename.rsplit("/", 1)[-1]
+    return f"{filename}:{lineno}({funcname})"
+
+
+def top_functions(
+    profiler: cProfile.Profile, top_n: int
+) -> List[Dict[str, object]]:
+    """The ``top_n`` rows by cumulative time, ready for the artifact."""
+    stats = pstats.Stats(profiler)
+    rows: List[Tuple[float, Dict[str, object]]] = []
+    for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        filename, lineno, funcname = func
+        rows.append(
+            (
+                cumtime,
+                {
+                    "function": _short_location(filename, lineno, funcname),
+                    "ncalls": nc,
+                    "tottime_s": round(tottime, 4),
+                    "cumtime_s": round(cumtime, 4),
+                },
+            )
+        )
+    rows.sort(key=lambda pair: pair[0], reverse=True)
+    return [row for _, row in rows[:top_n]]
+
+
+def profile_cell(
+    config, scenario: str, policy: str
+) -> Tuple[Dict[str, object], float, List[Dict[str, object]]]:
+    """Run one cell under cProfile; returns (cell, wall_s, top rows)."""
+    from repro.bench.runner import _run_cell
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        cell, wall_s = _run_cell(config, scenario, policy)
+    finally:
+        profiler.disable()
+    return cell, wall_s, top_functions(profiler, config.profile_top)
+
+
+def profile_matrix(config, progress=None):
+    """Serial matrix execution with a per-cell profile table.
+
+    Returns ``(runs, total_wall, workers, profiles)`` matching the
+    shapes :func:`repro.bench.runner.run_bench` expects.
+    """
+    runs: List[Dict[str, object]] = []
+    profiles: List[Dict[str, object]] = []
+    total_wall = 0.0
+    for scenario, policy in config.cells():
+        cell, wall_s, top = profile_cell(config, scenario, policy)
+        runs.append(cell)
+        total_wall += wall_s
+        profiles.append(
+            {
+                "scenario": scenario,
+                "policy": policy,
+                "top_n": config.profile_top,
+                "by_cumulative": top,
+            }
+        )
+        if progress is not None:
+            progress(cell)
+    return runs, total_wall, [], profiles

@@ -6,6 +6,12 @@ second, peak RSS — alongside the paper-facing metrics of the run, so a
 commit that slows the event loop or regresses FPS shows up in the same
 artifact.
 
+Cells are independent (every ``run_scenario`` resets the global id
+sequences and derives its randomness from the cell seed alone), so the
+matrix can fan out across a process pool with ``jobs > 1``.  Results
+are merged back in matrix order and are bit-identical to a serial run
+on every paper-facing metric; only the wall-clock fields differ.
+
 The artifact is schema-versioned (:data:`BENCH_SCHEMA_VERSION` bumps on
 any shape change) so downstream tooling can diff BENCH files across
 months of commits without guessing at their layout.
@@ -14,19 +20,24 @@ months of commits without guessing at their layout.
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
 import datetime as _dt
+import gc
 import json
+import os
 import platform
 import sys
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.devices.specs import get_device
 from repro.experiments.scenarios import BgCase, SCENARIOS, run_scenario
 from repro.metrics.stats import percentile
 
-BENCH_SCHEMA_VERSION = 1
+# v2: parallel-mode worker stats, unrounded wall totals, optional
+# per-cell profile tables, "jobs" knob recorded at top level.
+BENCH_SCHEMA_VERSION = 2
 
 DEFAULT_SCENARIOS = ("S-A", "S-B", "S-C", "S-D")
 DEFAULT_POLICIES = ("LRU+CFS", "Ice")
@@ -56,26 +67,54 @@ class BenchConfig:
     seed: int = 42
     bg_case: str = BgCase.APPS
     smoke: bool = False
+    jobs: int = 1
+    profile: bool = False
+    profile_top: int = 15
 
     @classmethod
     def smoke_config(cls) -> "BenchConfig":
         """The CI configuration: one short cell per policy."""
         return cls(scenarios=("S-A",), seconds=5.0, smoke=True)
 
+    def cells(self) -> List[Tuple[str, str]]:
+        """The matrix in canonical (scenario-major) order."""
+        for scenario in self.scenarios:
+            if scenario not in SCENARIOS:
+                raise ValueError(
+                    f"unknown scenario {scenario!r}; valid: {sorted(SCENARIOS)}"
+                )
+        return [(s, p) for s in self.scenarios for p in self.policies]
 
-def _run_cell(config: BenchConfig, scenario: str, policy: str) -> Dict[str, object]:
-    wall_start = time.perf_counter()
-    result = run_scenario(
-        scenario,
-        policy=policy,
-        spec=get_device(config.device),
-        bg_case=config.bg_case,
-        seconds=config.seconds,
-        seed=config.seed,
-    )
-    wall_s = time.perf_counter() - wall_start
+
+def _run_cell(
+    config: BenchConfig, scenario: str, policy: str
+) -> Tuple[Dict[str, object], float]:
+    """Run one cell; returns ``(cell_dict, unrounded_wall_s)``.
+
+    The cyclic GC is paused for the measured window: the simulator
+    allocates heavily but acyclically, so collector passes are pure
+    measurement noise.  A full collection runs before each cell to give
+    every cell the same starting heap.
+    """
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        wall_start = time.perf_counter()
+        result = run_scenario(
+            scenario,
+            policy=policy,
+            spec=get_device(config.device),
+            bg_case=config.bg_case,
+            seconds=config.seconds,
+            seed=config.seed,
+        )
+        wall_s = time.perf_counter() - wall_start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     timeline = result.fps_timeline
-    return {
+    cell = {
         "scenario": scenario,
         "policy": policy,
         "device": config.device,
@@ -106,24 +145,96 @@ def _run_cell(config: BenchConfig, scenario: str, policy: str) -> Dict[str, obje
         "psi_io_some_total_us": result.psi["io"]["some"]["total_us"],
         "psi_cpu_some_total_us": result.psi["cpu"]["some"]["total_us"],
     }
+    return cell, wall_s
+
+
+def _pool_worker(
+    payload: Tuple[BenchConfig, str, str]
+) -> Dict[str, object]:
+    """Process-pool entry point: one cell plus worker-side accounting."""
+    config, scenario, policy = payload
+    cell, wall_s = _run_cell(config, scenario, policy)
+    return {
+        "cell": cell,
+        "wall_s": wall_s,
+        "worker_pid": os.getpid(),
+        "worker_peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def _run_matrix_serial(
+    config: BenchConfig, progress
+) -> Tuple[List[Dict[str, object]], float, List[Dict[str, object]]]:
+    runs: List[Dict[str, object]] = []
+    total_wall = 0.0
+    for scenario, policy in config.cells():
+        cell, wall_s = _run_cell(config, scenario, policy)
+        runs.append(cell)
+        total_wall += wall_s
+        if progress is not None:
+            progress(cell)
+    return runs, total_wall, []
+
+
+def _run_matrix_parallel(
+    config: BenchConfig, progress
+) -> Tuple[List[Dict[str, object]], float, List[Dict[str, object]]]:
+    """Fan the matrix out over a process pool.
+
+    ``executor.map`` preserves submission order, so the merged ``runs``
+    list is in the same canonical matrix order as a serial run no matter
+    which worker finishes first.
+    """
+    cells = config.cells()
+    payloads = [(config, scenario, policy) for scenario, policy in cells]
+    runs: List[Dict[str, object]] = []
+    total_wall = 0.0
+    per_worker: Dict[int, Dict[str, object]] = {}
+    max_workers = min(config.jobs, len(payloads))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for outcome in pool.map(_pool_worker, payloads):
+            cell = outcome["cell"]
+            runs.append(cell)
+            total_wall += outcome["wall_s"]
+            pid = outcome["worker_pid"]
+            stats = per_worker.get(pid)
+            if stats is None:
+                stats = per_worker[pid] = {
+                    "pid": pid,
+                    "cells": 0,
+                    "wall_s": 0.0,
+                    "peak_rss_kb": outcome["worker_peak_rss_kb"],
+                }
+            stats["cells"] += 1
+            stats["wall_s"] += outcome["wall_s"]
+            rss = outcome["worker_peak_rss_kb"]
+            if rss is not None and (
+                stats["peak_rss_kb"] is None or rss > stats["peak_rss_kb"]
+            ):
+                stats["peak_rss_kb"] = rss
+            if progress is not None:
+                progress(cell)
+    workers = [per_worker[pid] for pid in sorted(per_worker)]
+    for stats in workers:
+        stats["wall_s"] = round(stats["wall_s"], 3)
+    return runs, total_wall, workers
 
 
 def run_bench(config: BenchConfig, progress=None) -> Dict[str, object]:
     """Execute the matrix; returns the full artifact document."""
-    runs: List[Dict[str, object]] = []
-    for scenario in config.scenarios:
-        if scenario not in SCENARIOS:
-            raise ValueError(
-                f"unknown scenario {scenario!r}; valid: {sorted(SCENARIOS)}"
-            )
-        for policy in config.policies:
-            cell = _run_cell(config, scenario, policy)
-            runs.append(cell)
-            if progress is not None:
-                progress(cell)
-    total_wall = sum(cell["wall_s"] for cell in runs)
+    config.cells()  # validate scenario ids before any work
+    profiles: List[Dict[str, object]] = []
+    if config.profile:
+        # Profiling owns the process's profiler hook; always serial.
+        from repro.bench.profile import profile_matrix
+
+        runs, total_wall, workers, profiles = profile_matrix(config, progress)
+    elif config.jobs > 1:
+        runs, total_wall, workers = _run_matrix_parallel(config, progress)
+    else:
+        runs, total_wall, workers = _run_matrix_serial(config, progress)
     total_events = sum(cell["events_executed"] for cell in runs)
-    return {
+    doc = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_at": _dt.datetime.now(_dt.timezone.utc).isoformat(
             timespec="seconds"
@@ -132,6 +243,7 @@ def run_bench(config: BenchConfig, progress=None) -> Dict[str, object]:
         "seed": config.seed,
         "device": config.device,
         "measured_seconds": config.seconds,
+        "jobs": config.jobs,
         "host": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -140,6 +252,9 @@ def run_bench(config: BenchConfig, progress=None) -> Dict[str, object]:
         },
         "totals": {
             "runs": len(runs),
+            # Totals accumulate the *unrounded* per-cell walls; only the
+            # artifact rendering rounds (a matrix of per-cell roundings
+            # used to skew events_per_sec by up to 0.5 ms x cells).
             "wall_s": round(total_wall, 3),
             "events_executed": total_events,
             "events_per_sec": (
@@ -147,8 +262,12 @@ def run_bench(config: BenchConfig, progress=None) -> Dict[str, object]:
             ),
             "peak_rss_kb": _peak_rss_kb(),
         },
+        "workers": workers,
         "runs": runs,
     }
+    if profiles:
+        doc["profiles"] = profiles
+    return doc
 
 
 def default_out_path() -> str:
@@ -174,29 +293,51 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seconds", type=float, default=20.0,
                         help="measured window per cell (simulated seconds)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run matrix cells across N worker processes "
+                             "(results merge in matrix order; paper metrics "
+                             "are identical to a serial run)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each cell under cProfile and embed the "
+                             "top-N cumulative table in the artifact "
+                             "(forces serial execution)")
+    parser.add_argument("--profile-top", type=int, default=15, metavar="N",
+                        help="rows per cell in the --profile table")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help=f"artifact path (default: {'BENCH_<date>.json'})")
 
 
-def main(args: argparse.Namespace) -> int:
+def config_from_args(args: argparse.Namespace) -> BenchConfig:
+    jobs = max(1, int(getattr(args, "jobs", 1) or 1))
+    profile = bool(getattr(args, "profile", False))
+    profile_top = int(getattr(args, "profile_top", 15))
     if args.smoke:
-        config = BenchConfig.smoke_config()
-        config = BenchConfig(
-            scenarios=config.scenarios,
+        base = BenchConfig.smoke_config()
+        return BenchConfig(
+            scenarios=base.scenarios,
             policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
             device=args.device,
-            seconds=config.seconds,
+            seconds=base.seconds,
             seed=args.seed,
             smoke=True,
+            jobs=jobs,
+            profile=profile,
+            profile_top=profile_top,
         )
-    else:
-        config = BenchConfig(
-            scenarios=tuple(s.strip() for s in args.scenarios.split(",") if s.strip()),
-            policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
-            device=args.device,
-            seconds=args.seconds,
-            seed=args.seed,
-        )
+    return BenchConfig(
+        scenarios=tuple(s.strip() for s in args.scenarios.split(",") if s.strip()),
+        policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+        device=args.device,
+        seconds=args.seconds,
+        seed=args.seed,
+        jobs=jobs,
+        profile=profile,
+        profile_top=profile_top,
+    )
+
+
+def main(args: argparse.Namespace) -> int:
+    config = config_from_args(args)
 
     def progress(cell: Dict[str, object]) -> None:
         print(
@@ -211,9 +352,10 @@ def main(args: argparse.Namespace) -> int:
     out = args.out or default_out_path()
     write_bench_file(doc, out)
     totals = doc["totals"]
+    mode = f", jobs={config.jobs}" if config.jobs > 1 else ""
     print(
         f"bench: {totals['runs']} runs in {totals['wall_s']}s wall "
         f"({totals['events_per_sec']} events/s, "
-        f"peak RSS {totals['peak_rss_kb']} kB) -> {out}"
+        f"peak RSS {totals['peak_rss_kb']} kB{mode}) -> {out}"
     )
     return 0

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.kernel.page import Page, PageKind
 
@@ -25,6 +25,11 @@ class LruKind(enum.Enum):
     INACTIVE_ANON = "inactive_anon"
     ACTIVE_FILE = "active_file"
     INACTIVE_FILE = "inactive_file"
+
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name hash but skips a Python-level __hash__ frame on every
+    # LRU-list dict operation.
+    __hash__ = object.__hash__
 
 
 def _active_kind(page: Page) -> LruKind:
@@ -48,7 +53,12 @@ class LruLists:
         """Insert a newly-resident page at the hot end."""
         if page.lru is not None:
             raise ValueError(f"page {page.page_id} already on {page.lru}")
-        kind = _active_kind(page) if active else _inactive_kind(page)
+        # Inlined kind selection — this runs once per allocation and once
+        # per rotated-back reclaim victim.
+        if page.kind is PageKind.ANON:
+            kind = LruKind.ACTIVE_ANON if active else LruKind.INACTIVE_ANON
+        else:
+            kind = LruKind.ACTIVE_FILE if active else LruKind.INACTIVE_FILE
         self._lists[kind][page.page_id] = page
         page.lru = kind
 
@@ -114,7 +124,7 @@ class LruLists:
         kind: LruKind,
         budget: int,
         protect: Optional[Callable[[Page], bool]] = None,
-    ) -> List[Page]:
+    ) -> Tuple[List[Page], int]:
         """Scan up to ``budget`` cold inactive pages; return eviction victims.
 
         Implements second chance: referenced pages are activated instead
@@ -122,25 +132,44 @@ class LruLists:
         protected page is rotated back rather than selected.  Victims are
         *removed* from the list; the caller must either evict them or
         re-add them.
+
+        Returns ``(victims, scanned)`` — ``scanned`` is the number of
+        pages actually examined, which is less than ``budget`` when the
+        list runs dry (callers charge scan CPU from it).
+
+        The loop pops from the cold end and re-inserts survivors
+        directly, skipping the per-page remove/activate/rotate method
+        dispatch of the one-page-at-a-time API.
         """
         if kind not in (LruKind.INACTIVE_ANON, LruKind.INACTIVE_FILE):
             raise ValueError(f"scan_inactive on non-inactive list {kind}")
         victims: List[Page] = []
         scanned = 0
         lst = self._lists[kind]
+        active_kind = (
+            LruKind.ACTIVE_ANON
+            if kind is LruKind.INACTIVE_ANON
+            else LruKind.ACTIVE_FILE
+        )
+        active_lst = self._lists[active_kind]
+        append = victims.append
+        pop_coldest = lst.popitem
         while scanned < budget and lst:
-            page = next(iter(lst.values()))
+            page_id, page = pop_coldest(last=False)
             scanned += 1
             if page.referenced:
+                # Second chance: promote to the hot end of the active list.
                 page.referenced = False
-                self.activate(page)
+                active_lst[page_id] = page
+                page.lru = active_kind
                 continue
             if protect is not None and protect(page):
-                self.rotate(page)
+                # Rotate back to the hot end of this list.
+                lst[page_id] = page
                 continue
-            self.remove(page)
-            victims.append(page)
-        return victims
+            page.lru = None
+            append(page)
+        return victims, scanned
 
     def age_active(self, kind: LruKind, budget: int) -> int:
         """Move up to ``budget`` cold unreferenced active pages to inactive.
@@ -154,14 +183,22 @@ class LruLists:
         demoted = 0
         scanned = 0
         lst = self._lists[kind]
+        inactive_kind = (
+            LruKind.INACTIVE_ANON
+            if kind is LruKind.ACTIVE_ANON
+            else LruKind.INACTIVE_FILE
+        )
+        inactive_lst = self._lists[inactive_kind]
+        pop_coldest = lst.popitem
         while scanned < budget and lst:
-            page = next(iter(lst.values()))
+            page_id, page = pop_coldest(last=False)
             scanned += 1
             if page.referenced:
                 page.referenced = False
-                self.rotate(page)
+                lst[page_id] = page
                 continue
-            self.deactivate(page)
+            inactive_lst[page_id] = page
+            page.lru = inactive_kind
             demoted += 1
         return demoted
 

@@ -106,7 +106,21 @@ class MemoryManager:
         self.lru = LruLists()
         self.workingset = WorkingSet()
         self.vmstat = VmStat()
-        self.resident_pages: int = 0
+        # Spec-derived constants, cached once: DeviceSpec is frozen and
+        # these sit on the watermark-check hot path.
+        self._managed_pages = spec.managed_pages
+        self._wm_min = spec.min_watermark_pages
+        self._wm_low = spec.low_watermark_pages
+        self._wm_high = spec.high_watermark_pages
+        # Free memory is maintained incrementally: residency changes go
+        # through the ``resident_pages`` setter and ZRAM pool changes
+        # arrive via the device's ``on_change`` observer, so ``free_pages``
+        # is a plain attribute read instead of a recomputation.
+        self._resident_pages = 0
+        self._pool_charge = 0
+        self._free_pages = self._managed_pages
+        zram.on_change = self._on_zram_change
+        self._on_zram_change(zram.stored_pages)
         # Policy hooks (set by the active management policy):
         # protect-from-reclaim predicate (Acclaim's FAE) ...
         self.reclaim_protect: Optional[Callable[[Page], bool]] = None
@@ -120,31 +134,54 @@ class MemoryManager:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
+    def _on_zram_change(self, stored: int) -> None:
+        """ZRAM observer: fold the pool charge delta into free memory."""
+        charge = int(stored / self.zram.compression_ratio)
+        if charge != self._pool_charge:
+            self._free_pages += self._pool_charge - charge
+            self._pool_charge = charge
+
+    def _recompute_free_pages(self) -> int:
+        """Free pages derived from scratch (consistency checks/tests)."""
+        return (
+            self.spec.managed_pages
+            - self._resident_pages
+            - int(self.zram.pool_pages())
+        )
+
     @property
     def managed_pages(self) -> int:
-        return self.spec.managed_pages
+        return self._managed_pages
+
+    @property
+    def resident_pages(self) -> int:
+        return self._resident_pages
+
+    @resident_pages.setter
+    def resident_pages(self, value: int) -> None:
+        self._free_pages += self._resident_pages - value
+        self._resident_pages = value
 
     @property
     def free_pages(self) -> int:
-        pool = int(self.zram.pool_pages())
-        return self.managed_pages - self.resident_pages - pool
+        return self._free_pages
 
     @property
     def below_low(self) -> bool:
-        return self.free_pages < self.spec.low_watermark_pages
+        return self._free_pages < self._wm_low
 
     @property
     def below_min(self) -> bool:
-        return self.free_pages < self.spec.min_watermark_pages
+        return self._free_pages < self._wm_min
 
     @property
     def below_high(self) -> bool:
-        return self.free_pages < self.spec.high_watermark_pages
+        return self._free_pages < self._wm_high
 
     @property
     def available_pages(self) -> int:
         """The MDT formula's S_am: free plus easily-droppable file pages."""
-        return self.free_pages + self.lru.inactive_file
+        return self._free_pages + self.lru.inactive_file
 
     def memory_pressure(self) -> float:
         """0 (idle) .. 1+ (thrashing): high-watermark over availability."""
@@ -159,13 +196,15 @@ class MemoryManager:
         outcome = AllocationOutcome()
         if page.present:
             return outcome
-        self._ensure_headroom(outcome)
+        if self._free_pages <= self._wm_min:
+            self._ensure_headroom(outcome)
         page.present = True
         # The young bit is set by actual CPU accesses, not by allocation:
         # a freshly-allocated page that is never touched again must look
         # cold to the LRU scan.
         page.referenced = False
-        self.resident_pages += 1
+        self._resident_pages += 1
+        self._free_pages -= 1
         self.vmstat.pgalloc += 1
         self.lru.add(page, active=active)
         outcome.pages = 1
@@ -176,15 +215,18 @@ class MemoryManager:
     def make_resident_bulk(self, pages: List[Page], active: bool = False) -> AllocationOutcome:
         """Fault-in / allocate a batch of pages."""
         outcome = AllocationOutcome()
+        lru_add = self.lru.add
         for page in pages:
             if page.present:
                 continue
-            self._ensure_headroom(outcome)
+            if self._free_pages <= self._wm_min:
+                self._ensure_headroom(outcome)
             page.present = True
             page.referenced = False
-            self.resident_pages += 1
+            self._resident_pages += 1
+            self._free_pages -= 1
             self.vmstat.pgalloc += 1
-            self.lru.add(page, active=active)
+            lru_add(page, active=active)
             outcome.pages += 1
         self._charge_contention(outcome, outcome.pages)
         self._check_watermarks()
@@ -194,9 +236,10 @@ class MemoryManager:
         """Allocator slow-path latency while reclaim churns (§2.2.3(2)):
         the non-preemptive reclaim machinery slows every allocator down,
         foreground render threads included."""
-        if pages <= 0 or not self.below_high:
+        free = self._free_pages
+        if pages <= 0 or free >= self._wm_high:
             return
-        if self.below_low:
+        if free < self._wm_low:
             per_page = ALLOC_CONTENTION_LOW_MS
         else:
             per_page = ALLOC_CONTENTION_HIGH_MS
@@ -210,7 +253,8 @@ class MemoryManager:
             return
         page.present = False
         self.lru.discard(page)
-        self.resident_pages -= 1
+        self._resident_pages -= 1
+        self._free_pages += 1
         self.vmstat.pgfree += 1
 
     def discard_page(self, page: Page) -> None:
@@ -247,7 +291,7 @@ class MemoryManager:
         attempts = 0
         stall_entry = outcome.stall_ms
         reclaimed_total = 0
-        while self.free_pages <= self.spec.min_watermark_pages and attempts < 32:
+        while self._free_pages <= self._wm_min and attempts < 32:
             result = self.shrink(DIRECT_RECLAIM_BATCH, direct=True)
             outcome.stall_ms += result.cpu_ms + result.io_wait_ms
             outcome.direct_reclaims += 1
@@ -281,7 +325,7 @@ class MemoryManager:
             )
 
     def _check_watermarks(self) -> None:
-        if self.below_low and self.kswapd_waker is not None:
+        if self._free_pages < self._wm_low and self.kswapd_waker is not None:
             self.kswapd_waker()
 
     # ------------------------------------------------------------------
@@ -340,23 +384,27 @@ class MemoryManager:
     def _evict_from(self, kind: LruKind, count: int, result: ReclaimResult) -> int:
         if count <= 0:
             return 0
-        victims = self.lru.scan_inactive(
+        victims, scanned = self.lru.scan_inactive(
             kind, budget=count * 2, protect=self.reclaim_protect
         )
         # scan_inactive removes victims from the list; only `count` of
         # them are evicted this round, the rest rotate back (still cold).
-        for extra in victims[count:]:
-            self.lru.add(extra, active=False)
-        victims = victims[:count]
-        result.scanned += count * 2
-        result.cpu_ms += count * 2 * SCAN_COST_MS
+        if len(victims) > count:
+            for extra in victims[count:]:
+                self.lru.add(extra, active=False)
+            del victims[count:]
+        # Charge the pages actually scanned — an exhausted list scans
+        # fewer than the 2x budget.
+        result.scanned += scanned
+        result.cpu_ms += scanned * SCAN_COST_MS
         evicted = 0
         now = self.clock()
         dirty_batch = 0
+        evict_page = self._evict_page
         for index, page in enumerate(victims):
             was_dirty = page.is_file and page.dirty
             try:
-                cost = self._evict_page(page, now)
+                cost = evict_page(page, now)
             except ZramFullError:
                 # Put this and the remaining victims back; anon reclaim
                 # is over for this round.
@@ -389,7 +437,8 @@ class MemoryManager:
                 self.vmstat.pgsteal_file_dirty += 1
         page.present = False
         page.referenced = False
-        self.resident_pages -= 1
+        self._resident_pages -= 1
+        self._free_pages += 1
         self.workingset.record_eviction(page)
         if page.is_file:
             page.dirty = False

@@ -26,9 +26,24 @@ from typing import Optional
 _page_ids = itertools.count(1)
 
 
+def reset_page_ids(start: int = 1) -> None:
+    """Restart the global page-id sequence.
+
+    Called at the top of every scenario run so a run's id stream never
+    depends on what executed earlier in the process — a serial benchmark
+    matrix and a process-pool worker hand out identical ids.
+    """
+    global _page_ids
+    _page_ids = itertools.count(start)
+
+
 class PageKind(enum.Enum):
     ANON = "anon"
     FILE = "file"
+
+    # Identity hash: members are singletons, and these enums key hot
+    # dicts (page tables, vmstat breakdowns).
+    __hash__ = object.__hash__
 
 
 class HeapKind(enum.Enum):
@@ -37,6 +52,8 @@ class HeapKind(enum.Enum):
     NONE = "none"  # file-backed pages
     JAVA = "java"  # ART-managed Java heap
     NATIVE = "native"  # malloc/free native heap
+
+    __hash__ = object.__hash__
 
 
 class Page:
@@ -55,6 +72,8 @@ class Page:
         "evictions",
         "refaults",
         "hot",
+        "is_anon",
+        "is_file",
     )
 
     def __init__(
@@ -71,6 +90,11 @@ class Page:
             raise ValueError("anonymous pages must be tagged JAVA or NATIVE")
         self.page_id: int = next(_page_ids)
         self.kind = kind
+        # ``kind`` never changes after construction, so the two
+        # predicates are plain attributes rather than properties — they
+        # sit on the fault and reclaim hot paths.
+        self.is_anon: bool = kind is PageKind.ANON
+        self.is_file: bool = kind is PageKind.FILE
         self.heap = heap
         self.owner = owner  # the owning Process (duck-typed)
         self.present: bool = False  # _PAGE_PRESENT; set on first allocation
@@ -85,14 +109,6 @@ class Page:
         # Hot pages belong to the nucleus of the owner's working set and
         # are touched far more often (drives LRU behaviour).
         self.hot: bool = hot
-
-    @property
-    def is_anon(self) -> bool:
-        return self.kind is PageKind.ANON
-
-    @property
-    def is_file(self) -> bool:
-        return self.kind is PageKind.FILE
 
     @property
     def was_evicted(self) -> bool:

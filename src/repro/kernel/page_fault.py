@@ -85,11 +85,12 @@ class PageFaultHandler:
             page.mark_accessed(write=write)
             return FaultOutcome(service_ms=self.FAULT_OVERHEAD_MS)
 
-        now = self.mm.clock()
+        mm = self.mm
+        now = mm.clock()
         outcome = FaultOutcome(service_ms=self.FAULT_OVERHEAD_MS)
-        self.mm.vmstat.pgfault += 1
+        mm.vmstat.pgfault += 1
 
-        refault = self.mm.workingset.check_refault(
+        refault = mm.workingset.check_refault(
             now_ms=now, page=page, pid=pid, uid=uid, foreground=foreground
         )
         if refault is not None:
@@ -108,8 +109,8 @@ class PageFaultHandler:
                 )
             psi = self.psi
             if page.is_anon:
-                self.mm.vmstat.pswpin += 1
-                swapin_ms = self.mm.zram.load(page.page_id)
+                mm.vmstat.pswpin += 1
+                swapin_ms = mm.zram.load(page.page_id)
                 outcome.service_ms += swapin_ms
                 # Swap-in decompression is thrashing work: Linux wraps
                 # it in psi_memstall_enter/leave.
@@ -117,9 +118,9 @@ class PageFaultHandler:
                     psi.record("memory", swapin_ms, start=now, uid=uid,
                                full=foreground)
             else:
-                bio = self.mm.flash.read(now, 1, owner_pid=pid)
+                bio = mm.flash.read(now, 1, owner_pid=pid)
                 outcome.io_complete_at = bio.complete_time
-                self.mm.vmstat.filein += 1
+                mm.vmstat.filein += 1
                 if psi is not None:
                     wait = bio.complete_time - now
                     # A refault read stalls the task on io, and — being
@@ -131,18 +132,18 @@ class PageFaultHandler:
         # Fresh file page (first touch) also needs a flash read.
         elif page.is_file:
             outcome.major = True
-            bio = self.mm.flash.read(now, 1, owner_pid=pid)
+            bio = mm.flash.read(now, 1, owner_pid=pid)
             outcome.io_complete_at = bio.complete_time
-            self.mm.vmstat.filein += 1
+            mm.vmstat.filein += 1
             if self.psi is not None:
                 self.psi.record("io", bio.complete_time - now, start=now,
                                 uid=uid, full=foreground)
         if outcome.major:
-            self.mm.vmstat.pgmajfault += 1
+            mm.vmstat.pgmajfault += 1
 
         # Refaulted pages re-enter on the active list (the kernel's
         # workingset_refault promotion); first-touch pages go inactive.
-        alloc = self.mm.make_resident(page, active=refault is not None)
+        alloc = mm.make_resident(page, active=refault is not None)
         outcome.service_ms += alloc.stall_ms
         outcome.direct_reclaims += alloc.direct_reclaims
         if alloc.stall_ms > 0 and self.psi is not None:

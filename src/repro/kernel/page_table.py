@@ -54,7 +54,14 @@ class PageTable:
     ) -> Page:
         """Create a page owned by this table's process and register it."""
         page = Page(kind=kind, owner=self.owner, heap=heap, dirty=dirty, hot=hot)
-        self.segment_for(page).pages.append(page)
+        # Inlined segment_for: footprint construction builds every page
+        # of every launched process through here.
+        if kind is PageKind.FILE:
+            self.segments[self.FILE_MAP].pages.append(page)
+        elif heap is HeapKind.JAVA:
+            self.segments[self.JAVA_HEAP].pages.append(page)
+        else:
+            self.segments[self.NATIVE_HEAP].pages.append(page)
         return page
 
     def segment_for(self, page: Page) -> Segment:

@@ -34,7 +34,13 @@ def percentile(values: Sequence[float], pct: float) -> float:
     lo = int(rank)
     hi = min(lo + 1, len(ordered) - 1)
     frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    lo_val, hi_val = ordered[lo], ordered[hi]
+    if frac == 0.0 or lo_val == hi_val:
+        return lo_val
+    # lo + (hi - lo) * frac is exact at frac == 0 and never dips below
+    # lo_val, unlike the lerp form a*(1-f) + b*f which can round a hair
+    # outside [lo_val, hi_val] when a == b.
+    return min(lo_val + (hi_val - lo_val) * frac, hi_val)
 
 
 def summarize(values) -> Dict[str, float]:

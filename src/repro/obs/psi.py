@@ -189,6 +189,15 @@ class PsiGroup:
             for resource in RESOURCES
             for kind in (SOME, FULL)
         }
+        # Per-resource (some, full) stall-clock pairs: record() runs on
+        # every stall site and this skips the tuple-key dict lookups.
+        self._clock_pairs = {
+            resource: (
+                self.lines[(resource, SOME)].clock,
+                self.lines[(resource, FULL)].clock,
+            )
+            for resource in RESOURCES
+        }
 
     def record(
         self, resource: str, start: float, dur_ms: float, full: bool = False
@@ -196,11 +205,12 @@ class PsiGroup:
         if dur_ms <= 0.0:
             return
         end = start + dur_ms
-        self.lines[(resource, SOME)].clock.add(start, end)
+        some_clock, full_clock = self._clock_pairs[resource]
+        some_clock.add(start, end)
         # System-level cpu has no full time (Linux renders the line as
         # zeros); group-level cpu full is accepted, as in cgroup2.
         if full:
-            self.lines[(resource, FULL)].clock.add(start, end)
+            full_clock.add(start, end)
 
     def update(self, now: float, period_ms: float) -> None:
         for line in self.lines.values():
@@ -339,9 +349,21 @@ class PsiMonitor:
             return
         if start is None:
             start = self.clock()
-        self.system.record(resource, start, dur_ms, full=full)
+        end = start + dur_ms
+        # Inlined PsiGroup.record: this is the hottest call in the PSI
+        # layer (every stall site funnels through it).
+        some_clock, full_clock = self.system._clock_pairs[resource]
+        some_clock.add(start, end)
+        if full:
+            full_clock.add(start, end)
         if uid is not None:
-            self.group(uid).record(resource, start, dur_ms, full=full)
+            group = self.groups.get(uid)
+            if group is None:
+                group = self.groups[uid] = PsiGroup(self.update_ms)
+            some_clock, full_clock = group._clock_pairs[resource]
+            some_clock.add(start, end)
+            if full:
+                full_clock.add(start, end)
 
     def group(self, uid: int) -> PsiGroup:
         """The per-app group for ``uid`` (created on first stall)."""

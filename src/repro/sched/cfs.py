@@ -84,6 +84,10 @@ class CfsScheduler:
         # (UCSG packs demoted tasks onto fewer cores).
         self.bg_slot_limit: Optional[int] = None
         self._min_vruntime: float = 0.0
+        # Set whenever the task table changes (add/remove); tells the
+        # tick that its fused min-vruntime bookkeeping is stale and a
+        # full walk is needed for this quantum.
+        self._membership_dirty: bool = True
         # Optional tracing hook (repro.trace.Tracer); None when disabled.
         self.tracer = None
         # Optional PSI hook: runnable-but-not-running time is cpu
@@ -101,11 +105,13 @@ class CfsScheduler:
         # starve nor monopolise the CPU.
         task.vruntime = self._min_vruntime
         self.tasks[task.tid] = task
+        self._membership_dirty = True
         return task
 
     def remove_task(self, task: Task) -> None:
         task.kill()
         self.tasks.pop(task.tid, None)
+        self._membership_dirty = True
 
     def tasks_of_pid(self, pid: int) -> List[Task]:
         return [task for task in self.tasks.values() if task.pid == pid]
@@ -129,8 +135,31 @@ class CfsScheduler:
 
     def tick(self, now: float) -> float:
         """Run one scheduling quantum; returns busy core-ms consumed."""
-        self._wake_blocked(now)
-        runnable = self.runnable_tasks()
+        # Fused wake-and-collect pass: one walk over the task table
+        # instead of the _wake_blocked + runnable_tasks pair (this runs
+        # every 4 ms of simulated time and dominates the event loop).
+        runnable: List[Task] = []
+        append = runnable.append
+        blocked = TaskState.BLOCKED
+        runnable_state = TaskState.RUNNABLE
+        dead = TaskState.DEAD
+        # ``idle_min`` tracks min vruntime over the non-runnable,
+        # non-dead tasks seen in this walk; combined with the runnable
+        # list after dispatch it reproduces the full min-vruntime pass
+        # without walking the task table a second time.
+        idle_min: Optional[float] = None
+        for task in self.tasks.values():
+            state = task.state
+            if state is blocked and task.blocked_until <= now:
+                task.blocked_until = 0.0
+                task.unblock()
+                state = task.state
+            if state is runnable_state:
+                append(task)
+            elif state is not dead:
+                vruntime = task.vruntime
+                if idle_min is None or vruntime < idle_min:
+                    idle_min = vruntime
         if not runnable:
             self.stats.record(now, 0.0)
             return 0.0
@@ -169,6 +198,9 @@ class CfsScheduler:
                     psi.record("cpu", self.quantum_ms, start=now, uid=uid)
         busy = 0.0
         tracer = self.tracer
+        # Task bodies may add or remove tasks (launches, LMK kills);
+        # the dirty flag tells us when the fused min below is stale.
+        self._membership_dirty = False
         for core, task in enumerate(picked):
             used = task.body.run(task, now, self.quantum_ms)
             if used > 0:
@@ -192,11 +224,25 @@ class CfsScheduler:
             if task.state is TaskState.RUNNABLE and not task.body.has_work(task):
                 task.state = TaskState.SLEEPING
         if picked:
-            self._min_vruntime = max(
-                self._min_vruntime,
-                min(task.vruntime for task in self.tasks.values()
-                    if task.state is not TaskState.DEAD) if self.tasks else 0.0,
-            )
+            if self._membership_dirty:
+                # The task table changed mid-quantum: fall back to the
+                # exact full walk (rare — launch or kill quanta only).
+                lowest = None
+                for task in self.tasks.values():
+                    if task.state is not dead:
+                        vruntime = task.vruntime
+                        if lowest is None or vruntime < lowest:
+                            lowest = vruntime
+            else:
+                # Only tasks in ``runnable`` ran (their vruntime grew);
+                # everything else was folded into ``idle_min`` above.
+                lowest = idle_min
+                for task in runnable:
+                    vruntime = task.vruntime
+                    if lowest is None or vruntime < lowest:
+                        lowest = vruntime
+            if lowest is not None and lowest > self._min_vruntime:
+                self._min_vruntime = lowest
         self.stats.record(now, busy)
         return busy
 

@@ -22,6 +22,12 @@ from repro.sched.priorities import NICE_DEFAULT, nice_to_weight
 _task_ids = itertools.count(1)
 
 
+def reset_task_ids(start: int = 1) -> None:
+    """Restart the global task-id sequence (see ``reset_page_ids``)."""
+    global _task_ids
+    _task_ids = itertools.count(start)
+
+
 class TaskState(enum.Enum):
     SLEEPING = "sleeping"  # no pending work
     RUNNABLE = "runnable"
@@ -84,27 +90,33 @@ class QueueBody(TaskBody):
 
     def run(self, task: "Task", now: float, budget_ms: float) -> float:
         used = 0.0
-        while used < budget_ms and task.queue:
-            item = task.queue[0]
+        # ``task.queue`` is mutated in place (popleft/clear) but never
+        # rebound, so the alias stays valid across callbacks.
+        queue = task.queue
+        dead = TaskState.DEAD
+        while used < budget_ms and queue:
+            item = queue[0]
             if item.touch is not None and not item.touched:
                 item.touched = True
                 fault_ms = item.touch()
-                if task.state is TaskState.DEAD:
+                if task.state is dead:
                     return used
-                if not task.queue or task.queue[0] is not item:
+                if not queue or queue[0] is not item:
                     continue  # the callback restructured the queue
                 if fault_ms > 0:
                     task.block_until(now + fault_ms)
                     return used
-            slice_ms = min(item.cpu_ms, budget_ms - used)
+            slice_ms = item.cpu_ms
+            if slice_ms > budget_ms - used:
+                slice_ms = budget_ms - used
             item.cpu_ms -= slice_ms
             used += slice_ms
             if item.cpu_ms <= 1e-9:
-                if task.queue and task.queue[0] is item:
-                    task.queue.popleft()
+                if queue and queue[0] is item:
+                    queue.popleft()
                 if item.on_complete is not None:
                     item.on_complete()
-                if task.state is TaskState.DEAD:
+                if task.state is dead:
                     return used
         return used
 

@@ -43,7 +43,11 @@ class Event:
         self.popped = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Branch form instead of tuple comparison: this runs on every
+        # heap sift and the two tuple allocations dominate its cost.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -140,10 +144,35 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (amortised O(n))."""
-        self._heap = [event for event in self._heap if not event.cancelled]
+        """Drop cancelled entries and re-heapify (amortised O(n)).
+
+        Rebuilds in place so aliases of ``_heap`` held by the hot loop in
+        :meth:`run_until` stay valid across a mid-callback compaction.
+        """
+        self._heap[:] = [event for event in self._heap if not event.cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
+
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm an already-fired event ``delay`` ms from now.
+
+        Fast path for periodic work: reuses the Event object instead of
+        allocating a fresh one per firing.  The event must have been
+        popped (executed or skipped) — re-arming a still-queued event
+        would corrupt the heap.
+        """
+        if not event.popped:
+            raise SimulationError("cannot reschedule an event that is still queued")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        event.time = self.now + delay
+        event.seq = self._seq
+        event.popped = False
+        event.cancelled = False
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
 
     def every(
         self,
@@ -155,7 +184,9 @@ class Simulator:
         """Run ``fn(*args)`` every ``interval`` ms until stopped.
 
         The first firing happens after ``first_delay`` ms (defaults to
-        ``interval``).  The callback may itself stop the handle.
+        ``interval``).  The callback may itself stop the handle.  Each
+        firing re-arms the same :class:`Event` object (no per-tick
+        allocation).
         """
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
@@ -166,7 +197,7 @@ class Simulator:
                 return
             fn(*args)
             if not handle.stopped:
-                handle._current = self.schedule(interval, tick)
+                self.reschedule(handle._current, interval)
 
         handle._current = self.schedule(
             interval if first_delay is None else first_delay, tick
@@ -206,6 +237,11 @@ class Simulator:
 
         The clock is left at exactly ``time`` even if the last event
         fired earlier, so back-to-back ``run_until`` calls tile cleanly.
+
+        This is the hot loop: peek and pop are fused (one heap touch per
+        event instead of a ``peek_time``/``step`` pair), and the tracer
+        check is hoisted out of the per-event path — attaching a tracer
+        mid-run takes effect on the next ``run_until``/``step`` call.
         """
         if time < self.now:
             raise SimulationError(
@@ -214,22 +250,50 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # Local aliases keep the per-event work free of repeated
+        # attribute lookups; _compact() rebuilds the heap in place, so
+        # the `heap` alias survives callbacks that cancel events.
+        heap = self._heap
+        pop = heapq.heappop
+        tracer = self.tracer
+        trace_hook = (
+            tracer.engine_event
+            if tracer is not None and tracer.engine_events
+            else None
+        )
+        executed = 0
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None or next_time > time:
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap).popped = True
+                    self._cancelled_in_heap -= 1
+                    continue
+                if event.time > time:
                     break
-                self.step()
+                pop(heap)
+                event.popped = True
+                self._live -= 1
+                self.now = event.time
+                executed += 1
+                if trace_hook is not None:
+                    trace_hook(event.time, event.fn)
+                event.fn(*event.args)
             self.now = time
         finally:
+            self.events_executed += executed
             self._running = False
 
     def run(self, max_events: int = 10_000_000) -> None:
-        """Run until the event heap drains (bounded by ``max_events``)."""
-        executed = 0
+        """Run until the event heap drains.
+
+        ``max_events`` bounds the simulator's *lifetime* event count
+        (``events_executed``), so events executed before ``run()`` was
+        entered — by earlier ``run_until``/``step``/``run`` calls —
+        count against the guard too.
+        """
         while self.step():
-            executed += 1
-            if executed >= max_events:
+            if self.events_executed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
 
     def pending_count(self) -> int:

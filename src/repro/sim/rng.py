@@ -33,6 +33,17 @@ class RngStream:
         self.namespace = namespace
         self.seed = derive_seed(base_seed, namespace)
         self._rng = random.Random(self.seed)
+        # Hot draws are rebound as instance attributes so the wrapper
+        # frame below is skipped; the underlying Random produces the
+        # same sequence either way.
+        self.random = self._rng.random
+        self.choice = self._rng.choice
+        self.uniform = self._rng.uniform
+        self.expovariate = self._rng.expovariate
+        # choice() is seq[_randbelow(len(seq))]; the tightest sampling
+        # loops index with _randbelow directly (same draw sequence,
+        # one frame less per pick).
+        self.randbelow = self._rng._randbelow
 
     # Thin, explicit wrappers: the full Random API is intentionally not
     # exposed so components stay easy to audit for stochastic behaviour.

@@ -18,7 +18,7 @@ for accounting.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Callable, Optional, Set
 
 
 class ZramFullError(RuntimeError):
@@ -47,6 +47,11 @@ class ZramDevice:
         self.stores: int = 0
         self.loads: int = 0
         self.failed_stores: int = 0
+        # Observer hook: called with the stored-page count after every
+        # change to the slot set.  The memory manager uses it to keep its
+        # free-page accounting incremental instead of re-deriving the
+        # pool charge on every watermark check.
+        self.on_change: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +89,8 @@ class ZramDevice:
             )
         self._slots.add(slot_id)
         self.stores += 1
+        if self.on_change is not None:
+            self.on_change(len(self._slots))
         return self.compress_ms
 
     def load(self, slot_id: int) -> float:
@@ -96,11 +103,16 @@ class ZramDevice:
         except KeyError:
             raise KeyError(f"zram slot {slot_id} is empty") from None
         self.loads += 1
+        if self.on_change is not None:
+            self.on_change(len(self._slots))
         return self.decompress_ms
 
     def discard(self, slot_id: int) -> None:
         """Drop a stored page without reading it (process death)."""
-        self._slots.discard(slot_id)
+        if slot_id in self._slots:
+            self._slots.discard(slot_id)
+            if self.on_change is not None:
+                self.on_change(len(self._slots))
 
     def reset_stats(self) -> None:
         self.stores = 0

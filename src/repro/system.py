@@ -16,6 +16,7 @@ drive::
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, Iterable, List, Optional
 
 from repro.android.activity_manager import ActivityManager, LaunchRecord
@@ -33,6 +34,7 @@ from repro.kernel.proc_reclaim import PerProcessReclaim
 from repro.kernel.reclaim import Kswapd
 from repro.obs.procfs import ProcFs
 from repro.obs.psi import PsiMonitor
+from repro.policies.base import ManagementPolicy
 from repro.sched.cfs import CfsScheduler
 from repro.sched.task import Task, TaskBody, TaskState
 from repro.sim.engine import Simulator
@@ -160,7 +162,15 @@ class MobileSystem:
             policy = LruCfsPolicy()
         self.policy = policy
         self.mm.reclaim_protect = self._reclaim_protect
-        self.sched.pick_key = self._sched_key
+        # Bound method wired directly: the pick key runs once per task
+        # per scheduler quantum, so every wrapper frame counts.  When the
+        # policy keeps the base-class key (plain CFS min-vruntime) the
+        # sort can use a C-level attrgetter — same ordering, no Python
+        # frame per runnable task.
+        if type(policy).sched_pick_key is ManagementPolicy.sched_pick_key:
+            self.sched.pick_key = operator.attrgetter("vruntime")
+        else:
+            self.sched.pick_key = policy.sched_pick_key
         self.sched.is_background = self._is_background_task
         policy.attach(self)
 
@@ -249,20 +259,26 @@ class MobileSystem:
         completes, not for the sum of all queue waits.
         """
         cpu_ms = 0.0
-        io_until = self.sim.now
+        now = self.sim.now
+        io_until = now
         foreground = process.app.state is AppState.FOREGROUND
+        fault = self._fault
         for page in pages:
             if not process.alive:
                 break
             if page.present:
-                page.mark_accessed(write=write)
+                # Inlined mark_accessed fast path (the common read case).
+                page.referenced = True
+                if write and page.is_file:
+                    page.dirty = True
                 continue
-            outcome = self._fault(page, process, foreground, write)
+            outcome = fault(page, process, foreground, write)
             if outcome is None:
                 continue
             cpu_ms += outcome.service_ms
-            if outcome.io_complete_at is not None:
-                io_until = max(io_until, outcome.io_complete_at)
+            complete_at = outcome.io_complete_at
+            if complete_at is not None and complete_at > io_until:
+                io_until = complete_at
         return cpu_ms + max(0.0, io_until - self.sim.now)
 
     def _fault(self, page: Page, process: Process, foreground: bool, write: bool):

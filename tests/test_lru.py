@@ -111,8 +111,9 @@ def test_scan_inactive_returns_unreferenced_victims():
     pages = [anon() for _ in range(4)]
     for page in pages:
         lru.add(page)
-    victims = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=4)
+    victims, scanned = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=4)
     assert victims == pages
+    assert scanned == 4
     assert all(page.lru is None for page in victims)
 
 
@@ -122,8 +123,9 @@ def test_scan_inactive_gives_second_chance():
     lru.add(hot)
     lru.add(cold)
     hot.referenced = True
-    victims = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=2)
+    victims, scanned = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=2)
     assert victims == [cold]
+    assert scanned == 2
     assert hot.lru is LruKind.ACTIVE_ANON
     assert not hot.referenced  # young bit cleared
 
@@ -133,10 +135,11 @@ def test_scan_inactive_respects_protect_hook():
     protected, normal = anon(), anon()
     lru.add(protected)
     lru.add(normal)
-    victims = lru.scan_inactive(
+    victims, scanned = lru.scan_inactive(
         LruKind.INACTIVE_ANON, budget=2, protect=lambda p: p is protected
     )
     assert victims == [normal]
+    assert scanned == 2
     assert protected.lru is LruKind.INACTIVE_ANON
 
 
@@ -145,8 +148,9 @@ def test_scan_inactive_budget_limits_scanning():
     pages = [anon() for _ in range(10)]
     for page in pages:
         lru.add(page)
-    victims = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=3)
+    victims, scanned = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=3)
     assert victims == pages[:3]
+    assert scanned == 3
 
 
 def test_scan_inactive_on_active_list_rejected():

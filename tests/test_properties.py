@@ -80,7 +80,8 @@ def test_lru_scan_conserves_pages(budget, referenced):
         page.referenced = flag
         lru.add(page)
         pages.append(page)
-    victims = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=budget)
+    victims, scanned = lru.scan_inactive(LruKind.INACTIVE_ANON, budget=budget)
+    assert scanned == min(budget, len(pages))
     assert len(victims) + lru.total == len(pages)
     assert len({page.page_id for page in victims}) == len(victims)
     # Referenced pages are never evicted (second chance).
