@@ -11,6 +11,8 @@ Examples::
     python -m repro bench --smoke
     python -m repro table1
     python -m repro overhead
+    python -m repro serve --port 8080 --workers 4
+    python -m repro submit --scenario S-B --policy Ice --seconds 20
 """
 
 from __future__ import annotations
@@ -126,7 +128,25 @@ def _write_trace_outputs(
         print(f"timeseries: {rows} samples -> {ts_path}", file=sys.stderr)
 
 
+def _unknown_policy(name: str) -> int:
+    """Exit-2 diagnostic for a policy name the registry doesn't know.
+
+    Policies can be registered at runtime (``register_policy``), so the
+    CLI validates against the live registry instead of baking the
+    choices into argparse — and an unknown name gets the full list
+    rather than a raw ``KeyError`` traceback out of ``make_policy``.
+    """
+    print(
+        f"error: unknown policy {name!r}; valid choices: "
+        + ", ".join(available_policies()),
+        file=sys.stderr,
+    )
+    return 2
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
+    if args.policy not in available_policies():
+        return _unknown_policy(args.policy)
     tracer = _make_tracer(args) if _tracing_requested(args) else None
     result = _run_one(args, args.policy, tracer)
     _emit_result(result, args.json)
@@ -177,6 +197,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one traced scenario and export trace + time series."""
+    if args.policy not in available_policies():
+        return _unknown_policy(args.policy)
     tracer = _make_tracer(args)
     result = _run_one(args, args.policy, tracer)
     _emit_result(result, args.json)
@@ -195,6 +217,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_dump(args: argparse.Namespace) -> int:
     """Run a scenario, then render its virtual /proc (text or JSON)."""
+    if args.policy not in available_policies():
+        return _unknown_policy(args.policy)
     result = _run_one(args, args.policy, None)
     procfs = result.system.procfs
     if args.format == "json":
@@ -236,6 +260,8 @@ _WATCH_COLUMNS = (
 
 def cmd_watch(args: argparse.Namespace) -> int:
     """Run a scenario printing an interval-sampled live table."""
+    if args.policy not in available_policies():
+        return _unknown_policy(args.policy)
     header = " ".join(
         title.rjust(len(fmt.format(0))) for title, _key, fmt in _WATCH_COLUMNS
     )
@@ -285,6 +311,110 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     return run_compare(args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation-as-a-service control plane until drained."""
+    import asyncio
+
+    from repro.serve.http import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_retries=args.max_retries,
+        cache_dir=args.cache_dir,
+        drain_grace_s=args.drain_grace,
+        default_timeout_s=args.default_timeout,
+    )
+
+    def ready(server) -> None:
+        print(
+            f"repro-serve listening on http://{config.host}:{server.port} "
+            f"(workers={config.workers}, queue depth={config.queue_depth}, "
+            f"cache={'disk:' + config.cache_dir if config.cache_dir else 'memory'})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_server(config, ready=ready))
+    except KeyboardInterrupt:
+        pass  # SIGINT before the drain handler was installed
+    return 0
+
+
+def _print_served_result(job: dict) -> None:
+    result = job["result"]
+    origin = "cache" if job.get("cache_hit") else "worker"
+    print(
+        f"{result['policy']:>12} | {result['fps']:5.1f} fps | "
+        f"RIA {result['ria']:5.1%} | refaults {result['refault']:6d} | "
+        f"launch {result['launch_ms']:6.0f} ms | LMK {result['lmk_kills']} | "
+        f"frozen {result['frozen_apps']} | via {origin}"
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one run to a `repro serve` instance and await the result."""
+    from repro.serve.client import QueueFullError, ServeClient, ServeError
+    from repro.serve.spec import RunRequest
+
+    if args.policy not in available_policies():
+        return _unknown_policy(args.policy)
+    request = RunRequest(
+        scenario=args.scenario,
+        policy=args.policy,
+        device=args.device,
+        bg_case=args.bg_case,
+        bg_count=args.bg,
+        seconds=args.seconds,
+        seed=args.seed,
+    )
+    client = ServeClient(args.url)
+    progress_ms = args.progress_every * 1000.0 if args.progress_every else None
+    try:
+        job = client.submit(
+            request,
+            priority=args.priority,
+            timeout_s=args.timeout,
+            progress_interval_ms=progress_ms,
+        )
+    except QueueFullError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except (ServeError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    job_id = job["id"]
+    print(f"run {job_id}: {job['state']}"
+          + (" (cache hit)" if job.get("cache_hit") else ""),
+          file=sys.stderr)
+    if args.no_wait:
+        print(json.dumps(job))
+        return 0
+    try:
+        if args.follow and not job.get("cache_hit"):
+            for event, data in client.events(job_id):
+                print(f"  {event}: {json.dumps(data)}", file=sys.stderr)
+            job = client.get(job_id)
+        elif job["state"] in ("queued", "running"):
+            job = client.wait(job_id, timeout_s=args.wait_timeout)
+    except (ServeError, ConnectionError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if job["state"] != "done":
+        print(
+            f"run {job_id} {job['state']}: {job.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(job["result"]))
+    else:
+        _print_served_result(job)
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     rows = table1(seconds=args.seconds, rounds=args.rounds)
     print(format_table1(rows))
@@ -307,7 +437,8 @@ def main(argv=None) -> int:
     _add_scenario_args(p_scenario)
     _add_trace_args(p_scenario)
     p_scenario.add_argument("--policy", default="LRU+CFS",
-                            choices=available_policies())
+                            help="policy name (see `repro compare` error "
+                                 "output for the registered list)")
     p_scenario.set_defaults(func=cmd_scenario)
 
     p_compare = sub.add_parser("compare", help="run several policies")
@@ -320,8 +451,7 @@ def main(argv=None) -> int:
         "trace", help="run one traced scenario and export a Perfetto trace"
     )
     _add_scenario_args(p_trace)
-    p_trace.add_argument("--policy", default="Ice",
-                         choices=available_policies())
+    p_trace.add_argument("--policy", default="Ice")
     p_trace.add_argument("--out", default="repro.trace.json", metavar="PATH",
                          help="Chrome/Perfetto trace_event JSON output path")
     p_trace.add_argument("--timeseries-out", default=None, metavar="PATH",
@@ -339,8 +469,7 @@ def main(argv=None) -> int:
              "(meminfo, vmstat, pressure/*, per-app memcg files)",
     )
     _add_scenario_args(p_dump)
-    p_dump.add_argument("--policy", default="LRU+CFS",
-                        choices=available_policies())
+    p_dump.add_argument("--policy", default="LRU+CFS")
     p_dump.add_argument("--format", default="text", choices=["text", "json"],
                         help="text: Linux-flavoured proc files; "
                              "json: one structured document")
@@ -357,8 +486,7 @@ def main(argv=None) -> int:
              "(free memory, FPS, PSI avg10s, refaults)",
     )
     _add_scenario_args(p_watch)
-    p_watch.add_argument("--policy", default="LRU+CFS",
-                         choices=available_policies())
+    p_watch.add_argument("--policy", default="LRU+CFS")
     p_watch.add_argument("--every", type=float, default=1.0, metavar="SECONDS",
                          help="sampling interval in simulated seconds")
     p_watch.set_defaults(func=cmd_watch)
@@ -383,6 +511,61 @@ def main(argv=None) -> int:
     p_bench_cmp.add_argument("--perf-rel-tol", type=float, default=0.25)
     p_bench_cmp.add_argument("--fail-on-perf", action="store_true")
     p_bench_cmp.set_defaults(func=cmd_bench_compare)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP control plane: queue, worker fleet, "
+             "result cache (repro.serve)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="simulation worker processes")
+    p_serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                         help="max queued jobs before 429 backpressure")
+    p_serve.add_argument("--max-retries", type=int, default=1, metavar="N",
+                         help="retries for jobs whose worker process died")
+    p_serve.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="persist the content-addressed result cache "
+                              "as JSON files here (default: memory only)")
+    p_serve.add_argument("--drain-grace", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="how long a SIGTERM drain waits for in-flight "
+                              "jobs before dropping them")
+    p_serve.add_argument("--default-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="deadline applied to jobs submitted without "
+                              "an explicit timeout_s")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one run to a `repro serve` instance"
+    )
+    _add_scenario_args(p_submit)
+    p_submit.add_argument("--policy", default="LRU+CFS")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8080",
+                          help="control-plane base URL")
+    p_submit.add_argument("--priority", type=int, default=None,
+                          help="lower runs first; FIFO within a priority")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="server-side deadline covering queue + run")
+    p_submit.add_argument("--progress-every", type=float, default=None,
+                          metavar="SECONDS",
+                          help="stream sampler progress at this simulated "
+                               "interval (adds sampler ticks to "
+                               "events_executed)")
+    p_submit.add_argument("--follow", action="store_true",
+                          help="print the run's SSE event stream to stderr "
+                               "while waiting")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the submission snapshot and exit "
+                               "without waiting for the result")
+    p_submit.add_argument("--wait-timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="client-side polling timeout")
+    p_submit.set_defaults(func=cmd_submit)
 
     p_table1 = sub.add_parser("table1", help="regenerate Table 1")
     p_table1.add_argument("--seconds", type=float, default=20.0)

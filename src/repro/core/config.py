@@ -43,3 +43,7 @@ class IceConfig:
             raise ValueError("thaw period must be positive")
         if self.max_freeze_s < self.thaw_period_s:
             raise ValueError("max_freeze_s must be >= thaw_period_s")
+        if self.mapping_table_bytes <= 0:
+            raise ValueError("mapping_table_bytes must be positive")
+        if self.release_pressure_factor <= 0:
+            raise ValueError("release_pressure_factor must be positive")

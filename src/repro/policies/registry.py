@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List
 
 from repro.policies.base import ManagementPolicy
 from repro.policies.lru_cfs import LruCfsPolicy
@@ -41,6 +42,37 @@ def register_policy(name: str, factory: Callable[[], ManagementPolicy]) -> None:
     if name in _REGISTRY:
         raise ValueError(f"policy {name!r} already registered")
     _REGISTRY[name] = factory
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a previously registered policy.
+
+    Raises ``KeyError`` for names that were never registered, so a
+    typo'd cleanup is loud instead of silently leaving the real
+    registration behind.
+    """
+    if name not in _REGISTRY:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(f"policy {name!r} is not registered; known: {known}")
+    del _REGISTRY[name]
+
+
+@contextmanager
+def temporary_policy(
+    name: str, factory: Callable[[], ManagementPolicy]
+) -> Iterator[str]:
+    """Register ``factory`` under ``name`` for the duration of a block.
+
+    The registration is removed on exit even if the block raises, so
+    tests exercising out-of-tree policies cannot leak entries across
+    the suite (a leaked entry makes the *next* in-process registration
+    of the same name explode with the duplicate-name ``ValueError``).
+    """
+    register_policy(name, factory)
+    try:
+        yield name
+    finally:
+        _REGISTRY.pop(name, None)
 
 
 def make_policy(name: str) -> ManagementPolicy:

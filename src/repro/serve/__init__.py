@@ -1,0 +1,38 @@
+"""`repro.serve` — simulation-as-a-service control plane.
+
+Turns one-shot CLI runs into addressable, deduplicated requests:
+
+* :mod:`repro.serve.spec`    — canonical :class:`RunRequest` + cache key
+* :mod:`repro.serve.queue`   — bounded priority queue (backpressure,
+  deadlines, cancellation, FIFO fairness)
+* :mod:`repro.serve.workers` — supervised process-pool fleet with crash
+  retry and sampler-fed progress streaming
+* :mod:`repro.serve.cache`   — content-addressed result store
+* :mod:`repro.serve.http`    — asyncio HTTP/JSON + SSE API
+* :mod:`repro.serve.client`  — blocking client (`repro submit`)
+* :mod:`repro.serve.testing` — in-process server harness
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import QueueFullError, ServeClient, ServeError
+from repro.serve.http import ServeConfig, SimulationServer, run_server
+from repro.serve.queue import Job, JobQueue, JobState, QueueFull
+from repro.serve.spec import RunRequest
+from repro.serve.workers import WorkerCrashed, WorkerFleet
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueueFull",
+    "QueueFullError",
+    "ResultCache",
+    "RunRequest",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "SimulationServer",
+    "WorkerCrashed",
+    "WorkerFleet",
+    "run_server",
+]

@@ -1,0 +1,125 @@
+"""Content-addressed result store: memory tier + optional disk tier.
+
+Results are keyed by :meth:`RunRequest.cache_key` — a hash of the
+request's canonical form — so the key *is* the proof that a stored
+result answers the incoming request: the simulator is deterministic,
+equal inputs hash equally, and unequal inputs cannot collide into each
+other's entries (modulo sha256).  Duplicate submissions are therefore
+served without spawning a worker at all.
+
+The memory tier is a plain dict (fast path, always on).  The disk tier
+is optional (``cache_dir``): one JSON file per key, written atomically
+(temp file + ``os.replace``) so a killed server never leaves a torn
+entry, and re-read lazily so a restarted server warms itself from disk
+as requests arrive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Optional
+
+CACHE_SCHEMA_VERSION = 1
+
+
+class ResultCache:
+    """Two-tier (memory + optional JSON-on-disk) result store."""
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_loads = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result document, or None (counts a hit/miss)."""
+        entry = self._memory.get(key)
+        if entry is None and self.cache_dir:
+            entry = self._load_from_disk(key)
+            if entry is not None:
+                self._memory[key] = entry
+                self.disk_loads += 1
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def _load_from_disk(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._path(key)) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            # Missing or torn/corrupt file: treat as a miss; a fresh
+            # run will overwrite it atomically.
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema_version") != CACHE_SCHEMA_VERSION
+            or "result" not in entry
+        ):
+            return None
+        return entry
+
+    def put(self, key: str, result: dict, request: Optional[dict] = None) -> None:
+        """Store a result under its content address (idempotent)."""
+        entry = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "cached_at": time.time(),
+            "request": request,
+            "result": result,
+        }
+        self._memory[key] = entry
+        if self.cache_dir:
+            self._write_to_disk(key, entry)
+
+    def _write_to_disk(self, key: str, entry: dict) -> None:
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f".{key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        """Presence probe that does NOT move the hit/miss counters."""
+        if key in self._memory:
+            return True
+        return bool(self.cache_dir) and os.path.exists(self._path(key))
+
+    @property
+    def entries(self) -> int:
+        return len(self._memory)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "disk_loads": self.disk_loads,
+            "disk_dir": self.cache_dir,
+        }

@@ -1,0 +1,186 @@
+"""Blocking HTTP client for the serve control plane.
+
+Used by ``python -m repro submit``, the test suite, and anything else
+that wants a simulation result without speaking HTTP by hand.  One
+plain :mod:`http.client` connection per call keeps the client free of
+state and safe to use from any thread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.serve.spec import RunRequest
+
+DEFAULT_BASE_URL = "http://127.0.0.1:8080"
+
+# Event kinds after which the server ends the SSE stream.
+TERMINAL_EVENTS = frozenset(("done", "failed", "cancelled", "expired"))
+
+
+class ServeError(Exception):
+    """A non-2xx control-plane response."""
+
+    def __init__(self, status: int, body: dict):
+        self.status = status
+        self.body = body
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+
+
+class QueueFullError(ServeError):
+    """429 — the server applied backpressure; retry later."""
+
+
+class ServeClient:
+    """Thin blocking wrapper over the ``/v1`` API."""
+
+    def __init__(self, base_url: str = DEFAULT_BASE_URL, timeout_s: float = 30.0):
+        # urlsplit("localhost:8080") would read "localhost" as the
+        # scheme, so bare "host:port" gets an explicit scheme first.
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http":
+            raise ValueError(f"unsupported scheme {parsed.scheme!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port if parsed.port is not None else 80
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                doc = {"error": raw.decode("utf-8", "replace")}
+            return response.status, doc
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, body=None) -> dict:
+        status, doc = self._request(method, path, body)
+        if status == 429:
+            raise QueueFullError(status, doc)
+        if status >= 400:
+            raise ServeError(status, doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Union[RunRequest, Dict[str, object]],
+        priority: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        progress_interval_ms: Optional[float] = None,
+    ) -> dict:
+        """POST the request; returns the job snapshot (maybe cached)."""
+        body = dict(
+            request.to_dict() if isinstance(request, RunRequest) else request
+        )
+        if priority is not None:
+            body["priority"] = priority
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        if progress_interval_ms is not None:
+            body["progress_interval_ms"] = progress_interval_ms
+        return self._checked("POST", "/v1/runs", body)
+
+    def get(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/runs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._checked("DELETE", f"/v1/runs/{job_id}")
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/v1/stats")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+    ) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.get(job_id)
+            if job["state"] not in ("queued", "running"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"run {job_id} still {job['state']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def run(
+        self,
+        request: Union[RunRequest, Dict[str, object]],
+        timeout_s: float = 300.0,
+        **submit_kwargs,
+    ) -> dict:
+        """Submit and wait; returns the terminal job snapshot."""
+        job = self.submit(request, **submit_kwargs)
+        if job["state"] not in ("queued", "running"):
+            return job  # cache hit (or immediate failure)
+        return self.wait(job["id"], timeout_s=timeout_s)
+
+    # ------------------------------------------------------------------
+    def events(
+        self, job_id: str, timeout_s: float = 300.0
+    ) -> Iterator[Tuple[str, dict]]:
+        """Follow the job's SSE stream, yielding ``(event, data)``.
+
+        The generator ends when the server closes the stream after a
+        terminal event.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout_s
+        )
+        try:
+            conn.request("GET", f"/v1/runs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw)
+                except json.JSONDecodeError:
+                    doc = {"error": raw.decode("utf-8", "replace")}
+                raise ServeError(response.status, doc)
+            event: Optional[str] = None
+            data_lines = []
+            while True:
+                line = response.readline()
+                if not line:
+                    return  # stream closed
+                line = line.decode("utf-8").rstrip("\n")
+                if line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif line == "":
+                    if event is not None:
+                        payload = "\n".join(data_lines) or "{}"
+                        yield event, json.loads(payload)
+                        if event in TERMINAL_EVENTS:
+                            # Don't wait for EOF: a worker process forked
+                            # while this connection was open can hold a
+                            # duplicate of its fd, delaying the FIN.
+                            return
+                    event = None
+                    data_lines = []
+        finally:
+            conn.close()

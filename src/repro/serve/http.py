@@ -1,0 +1,548 @@
+"""The control plane's HTTP/JSON surface (stdlib asyncio only).
+
+Endpoints (all under ``/v1``):
+
+* ``POST   /v1/runs``          — submit a :class:`RunRequest` (JSON body;
+  optional ``priority``, ``timeout_s``, ``progress_interval_ms``
+  submission options).  202 queued, 200 cache hit, 429 queue full,
+  503 draining, 400 malformed.
+* ``GET    /v1/runs/<id>``        — job snapshot (state, result, error).
+* ``GET    /v1/runs/<id>/events`` — Server-Sent Events: replays the
+  job's lifecycle (``queued``/``started``/``sample``/``retry``/
+  ``done``/``failed``/``cancelled``/``expired``) and follows it live;
+  ``sample`` events carry sampler rows when the submission asked for
+  progress.
+* ``DELETE /v1/runs/<id>``        — cancel a queued job (409 once running).
+* ``GET    /v1/healthz``          — liveness + drain state.
+* ``GET    /v1/stats``            — queue depth, cache hit rate, worker
+  utilization, job state counts.
+
+On SIGTERM (or :meth:`SimulationServer.request_shutdown`) the server
+drains gracefully: new submissions get 503 while polls keep working,
+queued and running jobs finish within a grace period, then the fleet
+and the listener shut down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import uuid
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.apps.catalog import APP_CATALOG
+from repro.devices.specs import DEVICES
+from repro.policies.registry import available_policies
+from repro.serve.cache import ResultCache
+from repro.serve.queue import Job, JobQueue, JobState, QueueFull
+from repro.serve.spec import RunRequest, SPEC_VERSION
+from repro.serve.workers import WorkerFleet
+
+SERVER_NAME = f"repro-serve/{SPEC_VERSION}"
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_TERMINAL_EVENTS = frozenset(
+    ("done", "failed", "cancelled", "expired")
+)
+
+_MAX_BODY_BYTES = 1 << 20
+
+# How often an SSE follower re-checks a job for fresh events.
+_SSE_POLL_S = 0.05
+
+
+@dataclass
+class ServeConfig:
+    """One server instance's knobs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080  # 0 = ephemeral (tests)
+    workers: int = 2
+    queue_depth: int = 64
+    max_retries: int = 1
+    cache_dir: Optional[str] = None
+    drain_grace_s: float = 60.0
+    # Applied when a submission carries no timeout_s of its own
+    # (None = jobs may wait/run forever).
+    default_timeout_s: Optional[float] = None
+
+
+class _BadRequest(Exception):
+    """Maps to a 400 with the exception text as the error body."""
+
+
+class SimulationServer:
+    """Queue + fleet + cache behind an asyncio HTTP listener."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.cache = ResultCache(self.config.cache_dir)
+        self.queue = JobQueue(maxsize=self.config.queue_depth)
+        self.fleet = WorkerFleet(
+            size=self.config.workers,
+            max_retries=self.config.max_retries,
+            on_progress=self._on_progress,
+        )
+        self.jobs: Dict[str, Job] = {}
+        self.submitted_total = 0
+        self.cache_hit_jobs = 0
+        self.draining = False
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._supervisor_task: Optional[asyncio.Task] = None
+        self._job_tasks: set = set()
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._stopped = asyncio.Event()
+        self._drain_task: Optional[asyncio.Task] = None
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        loop = asyncio.get_event_loop()
+        self._started_at = loop.time()
+        self.fleet.start(loop)
+        self._slots = asyncio.Semaphore(self.config.workers)
+        self._supervisor_task = asyncio.ensure_future(self._supervise())
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main-thread loops only)."""
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, ValueError, RuntimeError):
+                return  # not the main thread / unsupported platform
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, signal-handler safe)."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        self.draining = True
+        self.queue.close()
+
+        async def settle() -> None:
+            if self._supervisor_task is not None:
+                await self._supervisor_task
+            if self._job_tasks:
+                await asyncio.gather(
+                    *list(self._job_tasks), return_exceptions=True
+                )
+
+        try:
+            await asyncio.wait_for(settle(), timeout=self.config.drain_grace_s)
+        except asyncio.TimeoutError:
+            # Grace expired: drop what's left.
+            self.queue.cancel_all()
+            for task in list(self._job_tasks):
+                task.cancel()
+            await asyncio.gather(*list(self._job_tasks), return_exceptions=True)
+        self.fleet.shutdown(wait=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Supervision: queue -> fleet
+    # ------------------------------------------------------------------
+    async def _supervise(self) -> None:
+        """Feed the fleet one job per free worker slot, forever.
+
+        Acquiring a slot *before* popping keeps waiting jobs inside the
+        priority queue (where deadlines and cancellation still apply)
+        instead of parking them in the pool's opaque internal queue.
+        """
+        while True:
+            await self._slots.acquire()
+            job = await self.queue.pop()
+            if job is None:  # closed and drained
+                self._slots.release()
+                return
+            task = asyncio.ensure_future(self._run_job(job))
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_event_loop()
+        try:
+            remaining: Optional[float] = None
+            if job.deadline_at is not None:
+                remaining = job.deadline_at - loop.time()
+                if remaining <= 0:
+                    job.state = JobState.EXPIRED
+                    job.error = "deadline exceeded before a worker was free"
+                    job.finished_at = loop.time()
+                    self.queue.expired_total += 1
+                    job.add_event("expired", {"error": job.error})
+                    return
+            job.state = JobState.RUNNING
+            job.started_at = loop.time()
+            job.add_event("started", {
+                "queued_s": round(job.started_at - job.submitted_at, 4),
+                "attempt": job.attempts + 1,
+            })
+            try:
+                run = self.fleet.run(job)
+                if remaining is not None:
+                    outcome = await asyncio.wait_for(run, timeout=remaining)
+                else:
+                    outcome = await run
+            except asyncio.TimeoutError:
+                job.state = JobState.FAILED
+                job.error = (
+                    f"deadline exceeded after "
+                    f"{loop.time() - job.submitted_at:.3f}s"
+                )
+                job.add_event("failed", {"error": job.error})
+                return
+            except asyncio.CancelledError:
+                job.state = JobState.CANCELLED
+                job.error = "server shut down before the job finished"
+                job.add_event("cancelled", {"error": job.error})
+                raise
+            except Exception as exc:  # WorkerCrashed, sim errors, pickling
+                job.state = JobState.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.add_event("failed", {"error": job.error})
+                return
+            job.result = outcome["result"]
+            job.state = JobState.DONE
+            self.cache.put(
+                job.cache_key, job.result, request=job.request.to_dict()
+            )
+            job.add_event("done", {
+                "cache_hit": False,
+                "worker_pid": outcome.get("worker_pid"),
+                "fps": job.result.get("fps"),
+                "refault": job.result.get("refault"),
+            })
+        finally:
+            if job.finished_at is None:
+                job.finished_at = loop.time()
+            self._slots.release()
+
+    def _on_progress(self, message: dict) -> None:
+        job = self.jobs.get(message.get("job_id", ""))
+        if job is not None and not job.terminal:
+            job.add_event(message["event"], message["data"])
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> Tuple[int, Job]:
+        """Admit one request; returns ``(http_status, job)``.
+
+        Raises :class:`_BadRequest` for malformed payloads and
+        :class:`QueueFull` for backpressure.
+        """
+        if self.draining:
+            raise _BadRequest("server is draining")  # callers map to 503
+        options, request = self._parse_submission(payload)
+        loop = asyncio.get_event_loop()
+        job = Job(
+            id=f"run-{uuid.uuid4().hex[:12]}",
+            request=request,
+            priority=options["priority"],
+            submitted_at=loop.time(),
+            progress_interval_ms=options["progress_interval_ms"],
+        )
+        timeout_s = options["timeout_s"]
+        if timeout_s is None:
+            timeout_s = self.config.default_timeout_s
+        if timeout_s is not None:
+            job.deadline_at = job.submitted_at + timeout_s
+
+        self.submitted_total += 1
+        cached = self.cache.get(job.cache_key)
+        if cached is not None:
+            # Served straight from the content address: no queueing, no
+            # worker, terminal immediately.
+            job.cache_hit = True
+            job.result = cached
+            job.state = JobState.DONE
+            job.finished_at = job.submitted_at
+            self.cache_hit_jobs += 1
+            self.jobs[job.id] = job
+            job.add_event("done", {
+                "cache_hit": True,
+                "fps": cached.get("fps"),
+                "refault": cached.get("refault"),
+            })
+            return 200, job
+        self.queue.push(job)  # may raise QueueFull -> 429
+        self.jobs[job.id] = job
+        return 202, job
+
+    def _parse_submission(self, payload: dict) -> Tuple[dict, RunRequest]:
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        payload = dict(payload)
+        options = {
+            "priority": payload.pop("priority", None),
+            "timeout_s": payload.pop("timeout_s", None),
+            "progress_interval_ms": payload.pop("progress_interval_ms", None),
+        }
+        if options["priority"] is None:
+            options["priority"] = 10
+        try:
+            options["priority"] = int(options["priority"])
+            if options["timeout_s"] is not None:
+                options["timeout_s"] = float(options["timeout_s"])
+                if options["timeout_s"] <= 0:
+                    raise ValueError("timeout_s must be positive")
+            if options["progress_interval_ms"] is not None:
+                options["progress_interval_ms"] = float(
+                    options["progress_interval_ms"]
+                )
+                if options["progress_interval_ms"] <= 0:
+                    raise ValueError("progress_interval_ms must be positive")
+            request = RunRequest.from_dict(payload)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(str(exc)) from None
+        if request.policy not in available_policies():
+            raise _BadRequest(
+                f"unknown policy {request.policy!r}; "
+                f"valid: {', '.join(available_policies())}"
+            )
+        if request.scenario not in APP_CATALOG and not request.known_scenario():
+            raise _BadRequest(
+                f"unknown scenario {request.scenario!r}; "
+                f"valid scenario ids S-A..S-D or a catalog package name"
+            )
+        if request.device not in DEVICES:
+            raise _BadRequest(
+                f"unknown device {request.device!r}; "
+                f"valid: {', '.join(sorted(DEVICES))}"
+            )
+        return options, request
+
+    # ------------------------------------------------------------------
+    # Introspection documents
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        loop = asyncio.get_event_loop()
+        uptime = (
+            loop.time() - self._started_at if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "status": "draining" if self.draining else "ok",
+            "server": SERVER_NAME,
+            "uptime_s": round(uptime, 3),
+        }
+
+    def stats(self) -> dict:
+        states = {state: 0 for state in JobState.ALL}
+        for job in self.jobs.values():
+            states[job.state] += 1
+        doc = self.healthz()
+        doc.update({
+            "jobs": {
+                "submitted_total": self.submitted_total,
+                "cache_hits": self.cache_hit_jobs,
+                **states,
+            },
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats(),
+            "workers": self.fleet.stats(),
+        })
+        return doc
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            await self._dispatch(writer, method, path, body)
+        except ConnectionError:
+            pass
+        except Exception as exc:  # never kill the accept loop
+            try:
+                self._write_json(writer, 500, {"error": str(exc)})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+
+    @staticmethod
+    async def _read_request(reader) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > _MAX_BODY_BYTES:
+            raise ValueError("request body too large")
+        body = (
+            await reader.readexactly(content_length)
+            if content_length else b""
+        )
+        path = target.split("?", 1)[0]
+        return method, path, body
+
+    async def _dispatch(
+        self, writer, method: str, path: str, body: bytes
+    ) -> None:
+        if path == "/v1/healthz" and method == "GET":
+            self._write_json(writer, 200, self.healthz())
+            return
+        if path == "/v1/stats" and method == "GET":
+            self._write_json(writer, 200, self.stats())
+            return
+        if path == "/v1/runs" and method == "POST":
+            self._handle_submit(writer, body)
+            return
+        if path.startswith("/v1/runs/"):
+            rest = path[len("/v1/runs/"):]
+            if rest.endswith("/events") and method == "GET":
+                await self._handle_events(writer, rest[: -len("/events")])
+                return
+            if "/" not in rest:
+                if method == "GET":
+                    self._handle_get_job(writer, rest)
+                    return
+                if method == "DELETE":
+                    self._handle_cancel(writer, rest)
+                    return
+                self._write_json(writer, 405, {"error": "method not allowed"})
+                return
+        self._write_json(writer, 404, {"error": f"no route for {method} {path}"})
+
+    def _handle_submit(self, writer, body: bytes) -> None:
+        if self.draining:
+            self._write_json(
+                writer, 503,
+                {"error": "server is draining; not accepting new runs"},
+            )
+            return
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._write_json(writer, 400, {"error": f"invalid JSON: {exc}"})
+            return
+        try:
+            status, job = self.submit(payload)
+        except _BadRequest as exc:
+            self._write_json(writer, 400, {"error": str(exc)})
+            return
+        except QueueFull as exc:
+            self._write_json(writer, 429, {
+                "error": str(exc),
+                "queue": self.queue.stats(),
+            })
+            return
+        doc = job.snapshot()
+        doc["cached"] = job.cache_hit
+        self._write_json(writer, status, doc)
+
+    def _handle_get_job(self, writer, job_id: str) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
+            return
+        self._write_json(writer, 200, job.snapshot())
+
+    def _handle_cancel(self, writer, job_id: str) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
+            return
+        if self.queue.cancel(job_id):
+            self._write_json(writer, 200, job.snapshot())
+            return
+        self._write_json(writer, 409, {
+            "error": f"run {job_id!r} is {job.state} and cannot be cancelled",
+            "state": job.state,
+        })
+
+    async def _handle_events(self, writer, job_id: str) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        index = 0
+        while True:
+            while index < len(job.events):
+                event = job.events[index]
+                index += 1
+                frame = (
+                    f"event: {event['event']}\n"
+                    f"data: {json.dumps(event['data'])}\n\n"
+                )
+                writer.write(frame.encode("utf-8"))
+                await writer.drain()
+                if event["event"] in _TERMINAL_EVENTS:
+                    return
+            if job.terminal:
+                return  # terminal state with no more events to send
+            await asyncio.sleep(_SSE_POLL_S)
+
+    @staticmethod
+    def _write_json(writer, status: int, doc: dict) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Server: {SERVER_NAME}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+
+async def run_server(config: ServeConfig, ready=None) -> None:
+    """Start a server, announce readiness, and serve until drained."""
+    server = SimulationServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    if ready is not None:
+        ready(server)
+    await server.serve_forever()

@@ -1,0 +1,227 @@
+"""Admission control: a bounded priority queue of simulation jobs.
+
+The queue is the server's only admission point, and it implements the
+properties a serving stack needs at the front door:
+
+* **Backpressure** — depth is bounded; :meth:`JobQueue.push` raises
+  :class:`QueueFull` when the bound is hit and the HTTP layer turns
+  that into a 429 so clients back off instead of piling on.
+* **Priorities with FIFO fairness** — lower ``priority`` values run
+  first; within a priority class jobs run in arrival order (a
+  monotonically increasing sequence number breaks heap ties).
+* **Deadlines** — a job may carry a queue deadline; if it is still
+  waiting when the deadline passes it is *expired* at dequeue time and
+  never wastes a worker.
+* **Cancellation** — queued jobs can be cancelled; they are dropped
+  lazily when the heap surfaces them.
+
+Coordination is asyncio-native (the HTTP server and the worker
+supervisor share one event loop), with no threads or locks of its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve.spec import RunRequest
+
+DEFAULT_PRIORITY = 10
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`JobQueue.push` when the depth bound is hit."""
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+    TERMINAL = (DONE, FAILED, CANCELLED, EXPIRED)
+    ALL = (QUEUED, RUNNING) + TERMINAL
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle record.
+
+    The job table keeps these around after completion so pollers and
+    SSE streams can read terminal states; ``events`` accumulates the
+    stream every ``GET /v1/runs/<id>/events`` replays and follows.
+    """
+
+    id: str
+    request: RunRequest
+    priority: int = DEFAULT_PRIORITY
+    # Monotonic loop time of submission; deadline is absolute loop time
+    # (None = wait forever in queue).
+    submitted_at: float = 0.0
+    deadline_at: Optional[float] = None
+    progress_interval_ms: Optional[float] = None
+    state: str = JobState.QUEUED
+    cache_hit: bool = False
+    attempts: int = 0
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    @property
+    def cache_key(self) -> str:
+        return self.request.cache_key()
+
+    def add_event(self, kind: str, data: Optional[dict] = None) -> None:
+        """Append to the stream SSE followers replay and poll."""
+        self.events.append({"event": kind, "data": data or {}})
+
+    def snapshot(self) -> dict:
+        """The JSON document ``GET /v1/runs/<id>`` serves."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "priority": self.priority,
+            "cache_hit": self.cache_hit,
+            "cache_key": self.cache_key,
+            "attempts": self.attempts,
+            "request": self.request.to_dict(),
+            "result": self.result,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+async def _notify(cond: asyncio.Condition) -> None:
+    async with cond:
+        cond.notify_all()
+
+
+class JobQueue:
+    """Bounded, priority-ordered, deadline-aware asyncio job queue."""
+
+    def __init__(self, maxsize: int = 64, clock=None):
+        if maxsize <= 0:
+            raise ValueError("queue maxsize must be positive")
+        self.maxsize = maxsize
+        # Injectable clock (defaults to the running loop's monotonic
+        # time) so deadline tests don't sleep real seconds.
+        self._clock = clock
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._not_empty = asyncio.Condition()
+        self._queued: Dict[str, Job] = {}
+        self.enqueued_total = 0
+        self.expired_total = 0
+        self.cancelled_total = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_event_loop().time()
+
+    @property
+    def depth(self) -> int:
+        """Jobs admitted and still waiting (excludes lazy tombstones)."""
+        return len(self._queued)
+
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Admit a job or raise :class:`QueueFull` (HTTP 429)."""
+        if self.depth >= self.maxsize:
+            raise QueueFull(
+                f"queue full ({self.depth}/{self.maxsize} jobs waiting)"
+            )
+        job.state = JobState.QUEUED
+        heapq.heappush(self._heap, (job.priority, next(self._seq), job))
+        self._queued[job.id] = job
+        self.enqueued_total += 1
+        job.add_event("queued", {
+            "priority": job.priority, "depth": self.depth,
+        })
+        asyncio.ensure_future(_notify(self._not_empty))
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job; returns False if it is not waiting."""
+        job = self._queued.pop(job_id, None)
+        if job is None:
+            return False
+        # The heap entry stays behind as a tombstone; pop() skips it.
+        job.state = JobState.CANCELLED
+        job.finished_at = self._now()
+        self.cancelled_total += 1
+        job.add_event("cancelled", {})
+        return True
+
+    async def pop(self) -> Optional[Job]:
+        """Next runnable job in (priority, FIFO) order.
+
+        Expired and cancelled entries are discarded as they surface.
+        Returns ``None`` once the queue is closed and drained.
+        """
+        while True:
+            job = self._pop_runnable()
+            if job is not None:
+                return job
+            if self._closed:
+                return None
+            async with self._not_empty:
+                await self._not_empty.wait_for(
+                    lambda: bool(self._heap) or self._closed
+                )
+
+    def _pop_runnable(self) -> Optional[Job]:
+        now = self._now()
+        while self._heap:
+            _prio, _seq, job = heapq.heappop(self._heap)
+            if job.id not in self._queued:
+                continue  # cancelled tombstone
+            del self._queued[job.id]
+            if job.deadline_at is not None and now > job.deadline_at:
+                job.state = JobState.EXPIRED
+                job.finished_at = now
+                job.error = (
+                    f"queue deadline exceeded after "
+                    f"{now - job.submitted_at:.3f}s waiting"
+                )
+                self.expired_total += 1
+                job.add_event("expired", {"error": job.error})
+                continue
+            return job
+        return None
+
+    def close(self) -> None:
+        """Stop blocking poppers (drain path); queued jobs still pop."""
+        self._closed = True
+        asyncio.ensure_future(_notify(self._not_empty))
+
+    def cancel_all(self) -> int:
+        """Cancel every waiting job (forced shutdown); returns count."""
+        count = 0
+        for job_id in list(self._queued):
+            if self.cancel(job_id):
+                count += 1
+        return count
+
+    def stats(self) -> dict:
+        return {
+            "depth": self.depth,
+            "capacity": self.maxsize,
+            "enqueued_total": self.enqueued_total,
+            "expired_total": self.expired_total,
+            "cancelled_total": self.cancelled_total,
+        }

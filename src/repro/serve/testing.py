@@ -1,0 +1,78 @@
+"""In-process server harness for tests and embedded use.
+
+Runs a :class:`SimulationServer` on its own event loop in a daemon
+thread so blocking test code (pytest, :class:`ServeClient`) can talk to
+a real listening socket — the same code path production traffic takes,
+ephemeral port and all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.serve.http import ServeConfig, SimulationServer
+
+
+class ServerThread:
+    """``with ServerThread(config) as handle: ...`` — a live server."""
+
+    def __init__(self, config: Optional[ServeConfig] = None, startup_timeout_s: float = 30.0):
+        self.config = config or ServeConfig(port=0, workers=1)
+        self.startup_timeout_s = startup_timeout_s
+        self.server: Optional[SimulationServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-test", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surface startup/runtime failures
+            self._failure = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_event_loop()
+        self.server = SimulationServer(self.config)
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_forever()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=self.startup_timeout_s):
+            raise TimeoutError("server did not start in time")
+        if self._failure is not None:
+            raise RuntimeError("server failed to start") from self._failure
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

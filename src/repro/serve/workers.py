@@ -1,0 +1,272 @@
+"""The worker fleet: simulations fan out to a process pool.
+
+Simulations are CPU-bound pure-Python work, so the fleet runs them in a
+``ProcessPoolExecutor`` — the same fan-out mechanism as ``repro bench
+--jobs`` — and leans on the same determinism discipline:
+``run_scenario`` resets the global page/task/pid id sequences at entry,
+so a run executed 5th in a pool worker is bit-identical to the same
+request run directly from the CLI.  That property is what makes the
+content-addressed cache sound.
+
+Supervision details:
+
+* **Crash detection** — a worker that dies (OOM-kill, segfault,
+  ``os._exit``) surfaces as ``BrokenProcessPool``; the fleet rebuilds
+  the pool and retries the job up to ``max_retries`` times before
+  failing it.  Simulation errors (unknown scenario/policy, bad
+  config) are *not* retried: they are deterministic and would fail
+  identically every time.
+* **Progress streaming** — workers cannot touch the server's event
+  loop, so each pool process inherits one shared ``multiprocessing``
+  queue (via the pool initializer); when a job asks for progress the
+  worker attaches a :class:`~repro.trace.sampler.Sampler` to its run
+  and pushes a compact row per sample.  A drain thread forwards rows
+  onto the loop, where they become SSE events.  Progress sampling adds
+  sampler ticks to ``events_executed`` (paper metrics are unaffected),
+  so it is off unless the submission requests it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional
+
+from repro.serve.spec import RunRequest
+
+# The subset of sampler columns worth streaming per progress tick —
+# enough to draw a live FPS/pressure dashboard without shipping every
+# series over SSE.
+PROGRESS_SAMPLE_KEYS = (
+    "fps",
+    "free_pages",
+    "available_pages",
+    "refault_total",
+    "pgsteal",
+    "cpu_utilization",
+    "psi_mem_some_avg10",
+    "frozen_processes",
+)
+
+
+class WorkerCrashed(Exception):
+    """A job's worker process died more times than ``max_retries``."""
+
+
+# Set in each pool process by the initializer; the parent's drain
+# thread reads the other end.
+_PROGRESS_QUEUE = None
+
+
+def _init_worker(progress_queue) -> None:
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = progress_queue
+
+
+def _warmup() -> int:
+    """Pre-import the simulator so the first real job starts hot."""
+    import repro.experiments.scenarios  # noqa: F401  (import for side effect)
+
+    return os.getpid()
+
+
+def execute_request(payload) -> dict:
+    """Pool entry point: run one request, return its scalar result.
+
+    ``payload`` is ``(job_id, request_dict, progress_interval_ms)``;
+    the request travels as a plain dict because the frozen dataclass is
+    rebuilt worker-side anyway (cheap) and dicts survive any pickle
+    protocol drift.
+    """
+    job_id, request_dict, progress_interval_ms = payload
+    # Imported here so the parent's import graph stays light and the
+    # worker pays the simulator import cost once per process, not once
+    # per job.
+    from repro.devices.specs import get_device
+    from repro.experiments.scenarios import run_scenario
+
+    request = RunRequest.from_dict(request_dict)
+    on_sample = None
+    if progress_interval_ms and _PROGRESS_QUEUE is not None:
+        queue = _PROGRESS_QUEUE
+
+        def on_sample(now_ms: float, row: dict) -> None:
+            data = {"now_ms": now_ms}
+            for key in PROGRESS_SAMPLE_KEYS:
+                data[key] = round(float(row[key]), 3)
+            queue.put({"job_id": job_id, "event": "sample", "data": data})
+
+    result = run_scenario(
+        request.scenario,
+        policy=request.policy,
+        spec=get_device(request.device),
+        bg_case=request.bg_case,
+        bg_count=request.bg_count,
+        seconds=request.seconds,
+        settle_s=request.settle_s,
+        seed=request.seed,
+        sample_interval_ms=(
+            progress_interval_ms if progress_interval_ms else None
+        ),
+        on_sample=on_sample,
+    )
+    return {"result": result.to_dict(), "worker_pid": os.getpid()}
+
+
+class WorkerFleet:
+    """Supervised ``ProcessPoolExecutor`` with crash retry and stats."""
+
+    def __init__(
+        self,
+        size: int = 2,
+        max_retries: int = 1,
+        on_progress: Optional[Callable[[dict], None]] = None,
+    ):
+        if size <= 0:
+            raise ValueError("fleet size must be positive")
+        self.size = size
+        self.max_retries = max_retries
+        self.on_progress = on_progress
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._progress_queue = None
+        self._drain_thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.busy = 0
+        self.started_total = 0
+        self.completed_total = 0
+        self.failed_total = 0
+        self.retries_total = 0
+        self.crashes_total = 0
+
+    # ------------------------------------------------------------------
+    def start(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        if self._pool is not None:
+            return
+        self._loop = loop or asyncio.get_event_loop()
+        self._progress_queue = multiprocessing.Queue()
+        self._build_pool()
+        self._drain_thread = threading.Thread(
+            target=self._drain_progress, name="serve-progress-drain",
+            daemon=True,
+        )
+        self._drain_thread.start()
+
+    def _build_pool(self) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.size,
+            initializer=_init_worker,
+            initargs=(self._progress_queue,),
+        )
+        # Spawn the whole fleet NOW, before the HTTP listener accepts
+        # traffic: the executor otherwise forks lazily at first submit,
+        # and a fork duplicates every open fd — a worker forked while a
+        # client connection is live would hold that socket open forever
+        # after the server closes its copy (the peer never sees EOF).
+        # Eager warmup also pre-imports the simulator per worker.
+        _futures_wait([self._pool.submit(_warmup) for _ in range(self.size)])
+
+    def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken pool exactly once, however many jobs saw
+        the same ``BrokenProcessPool``."""
+        with self._pool_lock:
+            if self._pool is broken:
+                broken.shutdown(wait=False)
+                self._build_pool()
+
+    def _drain_progress(self) -> None:
+        while True:
+            message = self._progress_queue.get()
+            if message is None:
+                return
+            if self.on_progress is not None and self._loop is not None:
+                try:
+                    self._loop.call_soon_threadsafe(self.on_progress, message)
+                except RuntimeError:
+                    return  # loop already closed during shutdown
+
+    # ------------------------------------------------------------------
+    async def run(self, job) -> dict:
+        """Run one job to completion on the fleet.
+
+        Retries only pool breakage; raises the simulation's own
+        exception unchanged otherwise.  ``asyncio.TimeoutError``
+        propagates to the caller if the job's deadline fires mid-run
+        (the caller applies the deadline via ``wait_for``).
+        """
+        if self._pool is None:
+            raise RuntimeError("fleet not started")
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            pool = self._pool
+            job.attempts += 1
+            self.started_total += 1
+            self.busy += 1
+            try:
+                future = pool.submit(
+                    execute_request,
+                    (job.id, job.request.to_dict(), job.progress_interval_ms),
+                )
+                outcome = await asyncio.wrap_future(future)
+            except BrokenProcessPool as exc:
+                self.crashes_total += 1
+                last_error = exc
+                self._rebuild_pool(pool)
+                if attempt < self.max_retries:
+                    self.retries_total += 1
+                    job.add_event("retry", {
+                        "attempt": job.attempts,
+                        "reason": "worker process died",
+                    })
+                    continue
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.failed_total += 1
+                raise
+            else:
+                self.completed_total += 1
+                return outcome
+            finally:
+                self.busy -= 1
+        self.failed_total += 1
+        raise WorkerCrashed(
+            f"worker died {job.attempts} time(s) running {job.id}"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.size if self.size else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "pool_size": self.size,
+            "busy": self.busy,
+            "utilization": round(self.utilization, 4),
+            "started_total": self.started_total,
+            "completed_total": self.completed_total,
+            "failed_total": self.failed_total,
+            "retries_total": self.retries_total,
+            "crashes_total": self.crashes_total,
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._progress_queue is not None:
+            try:
+                self._progress_queue.put(None)  # stop the drain thread
+            except (OSError, ValueError):
+                pass
+        if self._drain_thread is not None:
+            self._drain_thread.join(timeout=2.0)
+            self._drain_thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+        if self._progress_queue is not None:
+            self._progress_queue.close()
+            self._progress_queue = None

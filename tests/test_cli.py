@@ -34,9 +34,13 @@ def test_compare_command_runs(capsys):
     assert "fps" in capsys.readouterr().out
 
 
-def test_unknown_policy_rejected():
-    with pytest.raises(SystemExit):
-        main(["scenario", "--policy", "SmartSwap"])
+def test_unknown_policy_rejected(capsys):
+    code = main(["scenario", "--policy", "SmartSwap"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "SmartSwap" in err
+    for name in available_policies():
+        assert name in err
 
 
 def test_command_required():

@@ -130,3 +130,11 @@ def test_config_validation():
         IceConfig(thaw_period_s=0)
     with pytest.raises(ValueError):
         IceConfig(max_freeze_s=0.5, thaw_period_s=1.0)
+    with pytest.raises(ValueError, match="mapping_table_bytes"):
+        IceConfig(mapping_table_bytes=0)
+    with pytest.raises(ValueError, match="mapping_table_bytes"):
+        IceConfig(mapping_table_bytes=-4096)
+    with pytest.raises(ValueError, match="release_pressure_factor"):
+        IceConfig(release_pressure_factor=0)
+    with pytest.raises(ValueError, match="release_pressure_factor"):
+        IceConfig(release_pressure_factor=-1.0)

@@ -195,6 +195,53 @@ def test_register_policy_adds_usable_name():
         registry._REGISTRY.pop(name, None)
 
 
+def test_unregister_policy_removes_name():
+    from repro.policies import registry
+
+    name = "UnregisterMe"
+    registry.register_policy(name, LruCfsPolicy)
+    registry.unregister_policy(name)
+    assert name not in registry.available_policies()
+
+
+def test_unregister_unknown_policy_is_loud():
+    from repro.policies import registry
+
+    with pytest.raises(KeyError, match="not registered"):
+        registry.unregister_policy("NeverRegistered")
+
+
+def test_temporary_policy_scopes_registration():
+    from repro.policies import registry
+
+    name = "ScopedPolicy"
+    with registry.temporary_policy(name, LruCfsPolicy) as bound:
+        assert bound == name
+        assert isinstance(registry.make_policy(name), LruCfsPolicy)
+    assert name not in registry.available_policies()
+
+
+def test_temporary_policy_cleans_up_on_error():
+    from repro.policies import registry
+
+    name = "ScopedPolicy"
+    with pytest.raises(RuntimeError, match="boom"):
+        with registry.temporary_policy(name, LruCfsPolicy):
+            raise RuntimeError("boom")
+    assert name not in registry.available_policies()
+    # The name is reusable immediately — nothing leaked.
+    with registry.temporary_policy(name, LruCfsPolicy):
+        pass
+
+
+def test_temporary_policy_rejects_duplicate_of_builtin():
+    from repro.policies import registry
+
+    with pytest.raises(ValueError, match="already registered"):
+        with registry.temporary_policy("Ice", LruCfsPolicy):
+            pass
+
+
 def test_make_policy_unknown_name_lists_choices():
     from repro.policies import registry
 

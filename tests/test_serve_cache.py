@@ -1,0 +1,77 @@
+"""Tests for the content-addressed result cache (`repro.serve.cache`)."""
+
+import json
+import os
+
+from repro.serve.cache import CACHE_SCHEMA_VERSION, ResultCache
+from repro.serve.spec import RunRequest
+
+KEY = RunRequest(scenario="S-A", seconds=2.0, seed=7).cache_key()
+RESULT = {"fps": 45.75, "refault": 0}
+
+
+def test_memory_round_trip_and_counters():
+    cache = ResultCache()
+    assert cache.get(KEY) is None
+    cache.put(KEY, RESULT)
+    assert KEY in cache
+    assert cache.get(KEY) == RESULT
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["entries"] == 1
+
+
+def test_contains_does_not_move_counters():
+    cache = ResultCache()
+    cache.put(KEY, RESULT)
+    assert KEY in cache
+    assert "0" * 64 not in cache
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_disk_tier_survives_restart(tmp_path):
+    first = ResultCache(cache_dir=str(tmp_path))
+    first.put(KEY, RESULT)
+    # A second instance (fresh memory tier) warms itself from disk.
+    second = ResultCache(cache_dir=str(tmp_path))
+    assert second.get(KEY) == RESULT
+    assert second.disk_loads == 1
+    # Now in memory: a second get doesn't re-read the file.
+    assert second.get(KEY) == RESULT
+    assert second.disk_loads == 1
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = ResultCache(cache_dir=str(tmp_path))
+    path = os.path.join(str(tmp_path), f"{KEY}.json")
+    with open(path, "w") as handle:
+        handle.write("{torn json")
+    assert cache.get(KEY) is None
+    assert cache.misses == 1
+
+
+def test_wrong_schema_version_is_a_miss(tmp_path):
+    cache = ResultCache(cache_dir=str(tmp_path))
+    path = os.path.join(str(tmp_path), f"{KEY}.json")
+    with open(path, "w") as handle:
+        json.dump({
+            "schema_version": CACHE_SCHEMA_VERSION + 1,
+            "result": RESULT,
+        }, handle)
+    assert cache.get(KEY) is None
+
+
+def test_disk_entry_shape(tmp_path):
+    cache = ResultCache(cache_dir=str(tmp_path))
+    request_doc = {"scenario": "S-A"}
+    cache.put(KEY, RESULT, request=request_doc)
+    with open(os.path.join(str(tmp_path), f"{KEY}.json")) as handle:
+        entry = json.load(handle)
+    assert entry["schema_version"] == CACHE_SCHEMA_VERSION
+    assert entry["key"] == KEY
+    assert entry["result"] == RESULT
+    assert entry["request"] == request_doc
+    assert "cached_at" in entry
+    # No temp files left behind.
+    assert [p for p in os.listdir(str(tmp_path)) if p.endswith(".tmp")] == []

@@ -1,0 +1,145 @@
+"""In-process end-to-end tests for the serve control plane.
+
+A real :class:`SimulationServer` runs on an ephemeral port in a
+background thread; a real :class:`ServeClient` talks to it over TCP.
+The central claim under test is the ISSUE's acceptance bar: a served
+result is bit-identical to the same request run directly through
+``run_scenario``, and a duplicate submission is answered from the
+content-addressed cache without touching a worker.
+"""
+
+import pytest
+
+from repro.devices.specs import get_device
+from repro.experiments.scenarios import BgCase, run_scenario
+from repro.serve.client import QueueFullError, ServeClient, ServeError
+from repro.serve.http import ServeConfig
+from repro.serve.testing import ServerThread
+
+# Short but non-trivial: ~75 ms of wall clock per simulation.
+REQUEST = {
+    "scenario": "S-A",
+    "policy": "LRU+CFS",
+    "bg_case": "bg-null",
+    "seconds": 2.0,
+    "seed": 7,
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServeConfig(port=0, workers=1)) as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(server.base_url)
+
+
+def _direct_result() -> dict:
+    return run_scenario(
+        REQUEST["scenario"],
+        policy=REQUEST["policy"],
+        spec=get_device("P20"),
+        bg_case=BgCase.NULL,
+        seconds=REQUEST["seconds"],
+        seed=REQUEST["seed"],
+    ).to_dict()
+
+
+def test_duplicate_pair_is_bit_identical_and_cache_served(client):
+    first = client.run(REQUEST, timeout_s=120.0)
+    assert first["state"] == "done", first.get("error")
+    assert first["cache_hit"] is False
+
+    second = client.run(REQUEST, timeout_s=120.0)
+    assert second["state"] == "done"
+    assert second["cache_hit"] is True
+    assert second["cache_key"] == first["cache_key"]
+
+    # Bit-identical: served == served == direct CLI-style run.
+    direct = _direct_result()
+    assert first["result"] == direct
+    assert second["result"] == direct
+
+    # The counters prove the second answer skipped the workers: two
+    # submissions, one cache hit, exactly one simulation executed.
+    stats = client.stats()
+    assert stats["jobs"]["submitted_total"] >= 2
+    assert stats["jobs"]["cache_hits"] >= 1
+    assert stats["cache"]["hits"] >= 1
+    assert stats["workers"]["completed_total"] == 1
+    assert stats["workers"]["pool_size"] == 1
+
+
+def test_get_returns_terminal_snapshot(client):
+    job = client.run(REQUEST, timeout_s=120.0)
+    again = client.get(job["id"])
+    assert again["state"] == "done"
+    assert again["result"] == job["result"]
+
+
+def test_events_stream_replays_to_terminal(client):
+    job = client.run(REQUEST, timeout_s=120.0)  # cached by now
+    kinds = [event for event, _ in client.events(job["id"], timeout_s=30.0)]
+    assert kinds[-1] == "done"
+
+
+def test_unknown_policy_rejected_with_400(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({"scenario": "S-A", "policy": "SmartSwap",
+                       "seconds": 2.0})
+    assert excinfo.value.status == 400
+    assert "SmartSwap" in str(excinfo.value)
+
+
+def test_unknown_scenario_rejected_with_400(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({"scenario": "no-such-scenario", "seconds": 2.0})
+    assert excinfo.value.status == 400
+
+
+def test_unknown_field_rejected_with_400(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({"scenario": "S-A", "secnds": 2.0})
+    assert excinfo.value.status == 400
+    assert "unknown request field" in str(excinfo.value)
+
+
+def test_unknown_job_id_is_404(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.get("run-does-not-exist")
+    assert excinfo.value.status == 404
+
+
+def test_healthz_reports_ok(client):
+    doc = client.healthz()
+    assert doc["status"] == "ok"
+    assert doc["uptime_s"] >= 0
+
+
+def test_queue_backpressure_returns_429():
+    # A dedicated tiny server: depth 1 plus one busy worker means the
+    # third concurrent submission must be told to back off.
+    config = ServeConfig(port=0, workers=1, queue_depth=1)
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        # Distinct seeds so nothing is answered from cache; long enough
+        # that the first is still running when the burst lands.
+        jobs, rejected = [], 0
+        for seed in range(100, 112):
+            try:
+                jobs.append(client.submit({
+                    "scenario": "S-A", "bg_case": "bg-null",
+                    "seconds": 8.0, "seed": seed,
+                }))
+            except QueueFullError:
+                rejected += 1
+        assert rejected >= 1, "burst never hit the depth bound"
+        stats = client.stats()
+        assert stats["queue"]["capacity"] == 1
+        # Admitted jobs still complete.
+        for job in jobs:
+            final = client.wait(job["id"], timeout_s=120.0)
+            assert final["state"] == "done", final.get("error")

@@ -1,0 +1,138 @@
+"""Tests for the bounded priority job queue (`repro.serve.queue`)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import Job, JobQueue, JobState, QueueFull
+from repro.serve.spec import RunRequest
+
+
+def _job(job_id, priority=10, deadline_at=None, submitted_at=0.0):
+    return Job(
+        id=job_id,
+        request=RunRequest(scenario="S-A", seconds=2.0),
+        priority=priority,
+        submitted_at=submitted_at,
+        deadline_at=deadline_at,
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_push_beyond_capacity_raises_queue_full():
+    async def scenario():
+        queue = JobQueue(maxsize=2)
+        queue.push(_job("a"))
+        queue.push(_job("b"))
+        with pytest.raises(QueueFull, match="2/2"):
+            queue.push(_job("c"))
+        assert queue.stats()["depth"] == 2
+
+    _run(scenario())
+
+
+def test_pop_orders_by_priority_then_fifo():
+    async def scenario():
+        queue = JobQueue(maxsize=8)
+        queue.push(_job("low-1", priority=20))
+        queue.push(_job("high-1", priority=1))
+        queue.push(_job("low-2", priority=20))
+        queue.push(_job("high-2", priority=1))
+        order = [(await queue.pop()).id for _ in range(4)]
+        assert order == ["high-1", "high-2", "low-1", "low-2"]
+
+    _run(scenario())
+
+
+def test_cancel_queued_job_never_pops():
+    async def scenario():
+        queue = JobQueue(maxsize=8)
+        queue.push(_job("keep"))
+        victim = _job("drop")
+        queue.push(victim)
+        assert queue.cancel("drop") is True
+        assert victim.state == JobState.CANCELLED
+        assert queue.cancel("drop") is False  # already gone
+        assert (await queue.pop()).id == "keep"
+        queue.close()
+        assert await queue.pop() is None
+        assert queue.stats()["cancelled_total"] == 1
+
+    _run(scenario())
+
+
+def test_deadline_passed_jobs_expire_at_dequeue():
+    fake_now = [100.0]
+
+    async def scenario():
+        queue = JobQueue(maxsize=8, clock=lambda: fake_now[0])
+        stale = _job("stale", deadline_at=105.0, submitted_at=100.0)
+        fresh = _job("fresh", deadline_at=200.0, submitted_at=100.0)
+        queue.push(stale)
+        queue.push(fresh)
+        fake_now[0] = 110.0  # past stale's deadline, before fresh's
+        popped = await queue.pop()
+        assert popped.id == "fresh"
+        assert stale.state == JobState.EXPIRED
+        assert "deadline exceeded" in stale.error
+        assert queue.stats()["expired_total"] == 1
+
+    _run(scenario())
+
+
+def test_pop_waits_for_push():
+    async def scenario():
+        queue = JobQueue(maxsize=8)
+
+        async def pusher():
+            await asyncio.sleep(0.01)
+            queue.push(_job("late"))
+
+        task = asyncio.ensure_future(pusher())
+        job = await asyncio.wait_for(queue.pop(), timeout=2.0)
+        await task
+        return job.id
+
+    assert _run(scenario()) == "late"
+
+
+def test_close_drains_then_returns_none():
+    async def scenario():
+        queue = JobQueue(maxsize=8)
+        queue.push(_job("last"))
+        queue.close()
+        assert (await queue.pop()).id == "last"
+        assert await queue.pop() is None
+
+    _run(scenario())
+
+
+def test_cancel_all_sweeps_the_queue():
+    async def scenario():
+        queue = JobQueue(maxsize=8)
+        for i in range(3):
+            queue.push(_job(f"j{i}"))
+        assert queue.cancel_all() == 3
+        queue.close()
+        assert await queue.pop() is None
+
+    _run(scenario())
+
+
+def test_queue_rejects_nonpositive_maxsize():
+    with pytest.raises(ValueError):
+        JobQueue(maxsize=0)
+
+
+def test_job_snapshot_shape():
+    job = _job("snap", priority=5)
+    doc = job.snapshot()
+    assert doc["id"] == "snap"
+    assert doc["state"] == JobState.QUEUED
+    assert doc["priority"] == 5
+    assert doc["cache_key"] == job.request.cache_key()
+    assert doc["request"]["scenario"] == "S-A"
+    assert not job.terminal

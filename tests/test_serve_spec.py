@@ -1,0 +1,87 @@
+"""Tests for the canonical run request (`repro.serve.spec`)."""
+
+import json
+
+import pytest
+
+from repro.serve.spec import RunRequest
+
+
+def test_round_trip_through_dict():
+    request = RunRequest(
+        scenario="S-B", policy="Ice", device="Nova7",
+        bg_case="bg-memtester", bg_count=6, seconds=30.0,
+        settle_s=2.0, seed=9,
+    )
+    assert RunRequest.from_dict(request.to_dict()) == request
+
+
+def test_canonical_json_is_stable_and_sorted():
+    request = RunRequest(scenario="S-A")
+    doc = json.loads(request.canonical_json())
+    assert list(doc) == sorted(doc)
+    assert request.canonical_json() == request.canonical_json()
+
+
+def test_number_type_normalization_gives_equal_keys():
+    # `seconds=2` and `seconds=2.0` describe the same simulation and
+    # must land on the same content address.
+    a = RunRequest(scenario="S-A", seconds=2, seed=7)
+    b = RunRequest(scenario="S-A", seconds=2.0, seed=7.0)
+    assert a == b
+    assert a.cache_key() == b.cache_key()
+
+
+def test_every_field_change_changes_the_key():
+    base = RunRequest(scenario="S-A")
+    variants = [
+        RunRequest(scenario="S-B"),
+        RunRequest(scenario="S-A", policy="Ice"),
+        RunRequest(scenario="S-A", device="Nova7"),
+        RunRequest(scenario="S-A", bg_case="bg-null"),
+        RunRequest(scenario="S-A", bg_count=3),
+        RunRequest(scenario="S-A", seconds=61.0),
+        RunRequest(scenario="S-A", settle_s=6.0),
+        RunRequest(scenario="S-A", seed=43),
+    ]
+    keys = {base.cache_key()} | {v.cache_key() for v in variants}
+    assert len(keys) == 1 + len(variants)
+
+
+def test_cache_key_is_hex_sha256():
+    key = RunRequest(scenario="S-A").cache_key()
+    assert len(key) == 64
+    int(key, 16)  # raises if not hex
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown request field"):
+        RunRequest.from_dict({"scenario": "S-A", "secnds": 5})
+
+
+def test_from_dict_requires_scenario():
+    with pytest.raises(ValueError, match="scenario"):
+        RunRequest.from_dict({"policy": "Ice"})
+
+
+def test_from_dict_rejects_non_object():
+    with pytest.raises(ValueError, match="JSON object"):
+        RunRequest.from_dict(["S-A"])
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(scenario=""),
+    dict(scenario="S-A", policy=""),
+    dict(scenario="S-A", bg_case="bg-bogus"),
+    dict(scenario="S-A", seconds=0),
+    dict(scenario="S-A", settle_s=-1.0),
+    dict(scenario="S-A", bg_count=-1),
+])
+def test_invalid_fields_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RunRequest(**kwargs)
+
+
+def test_known_scenario():
+    assert RunRequest(scenario="S-A").known_scenario()
+    assert not RunRequest(scenario="not-a-scenario").known_scenario()
