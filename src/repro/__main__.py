@@ -259,7 +259,24 @@ _WATCH_COLUMNS = (
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
-    """Run a scenario printing an interval-sampled live table."""
+    """Run a scenario printing an interval-sampled live table.
+
+    With ``--serve URL`` it instead becomes the live fleet pressure
+    console for a running ``repro serve`` instance: periodic
+    ``/v1/stats`` polls plus an SSE event tail, rendering queue depth,
+    worker utilization, cache hit/eviction rates, latency percentiles,
+    and per-tenant rogue scores.
+    """
+    if args.serve:
+        from repro.serve.client import ServeClient
+        from repro.serve.console import FleetConsole
+
+        console = FleetConsole(
+            ServeClient(args.serve),
+            every_s=args.every,
+            plain=args.plain,
+        )
+        return console.run(iterations=args.iterations)
     if args.policy not in available_policies():
         return _unknown_policy(args.policy)
     header = " ".join(
@@ -326,6 +343,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         drain_grace_s=args.drain_grace,
         default_timeout_s=args.default_timeout,
+        cache_budget_bytes=(
+            int(args.cache_budget_mb * 1024 * 1024)
+            if args.cache_budget_mb else None
+        ),
+        mem_sample_interval_s=args.mem_sample_every,
+        sse_keepalive_s=args.sse_keepalive,
+        enable_tracemalloc=args.tracemalloc,
     )
 
     def ready(server) -> None:
@@ -378,6 +402,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             priority=args.priority,
             timeout_s=args.timeout,
             progress_interval_ms=progress_ms,
+            tenant=args.tenant,
         )
     except QueueFullError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -483,12 +508,25 @@ def main(argv=None) -> int:
     p_watch = sub.add_parser(
         "watch",
         help="run a scenario printing a live interval-sampled table "
-             "(free memory, FPS, PSI avg10s, refaults)",
+             "(free memory, FPS, PSI avg10s, refaults), or — with "
+             "--serve URL — a live fleet pressure console for a "
+             "running `repro serve` instance",
     )
     _add_scenario_args(p_watch)
     p_watch.add_argument("--policy", default="LRU+CFS")
     p_watch.add_argument("--every", type=float, default=1.0, metavar="SECONDS",
-                         help="sampling interval in simulated seconds")
+                         help="sampling interval in simulated seconds "
+                              "(with --serve: stats poll interval in "
+                              "wall seconds)")
+    p_watch.add_argument("--serve", default=None, metavar="URL",
+                         help="watch a serve control plane instead of "
+                              "running a local scenario")
+    p_watch.add_argument("--iterations", type=int, default=None, metavar="N",
+                         help="with --serve: render N frames then exit "
+                              "(default: until interrupted)")
+    p_watch.add_argument("--plain", action="store_true",
+                         help="with --serve: append frames instead of "
+                              "clearing the screen (log-friendly)")
     p_watch.set_defaults(func=cmd_watch)
 
     p_bench = sub.add_parser(
@@ -537,6 +575,21 @@ def main(argv=None) -> int:
                          metavar="SECONDS",
                          help="deadline applied to jobs submitted without "
                               "an explicit timeout_s")
+    p_serve.add_argument("--cache-budget-mb", type=float, default=64.0,
+                         metavar="MB",
+                         help="byte budget for the result cache's memory "
+                              "tier; size-aware LRU eviction keeps RSS "
+                              "flat under it (0 = unbounded)")
+    p_serve.add_argument("--mem-sample-every", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="RSS/tracemalloc gauge sampling interval")
+    p_serve.add_argument("--sse-keepalive", type=float, default=15.0,
+                         metavar="SECONDS",
+                         help="interval between `: ping` comment frames "
+                              "on idle SSE event streams")
+    p_serve.add_argument("--tracemalloc", action="store_true",
+                         help="start tracemalloc for precise Python-heap "
+                              "gauges (adds allocation overhead)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -548,6 +601,9 @@ def main(argv=None) -> int:
                           help="control-plane base URL")
     p_submit.add_argument("--priority", type=int, default=None,
                           help="lower runs first; FIFO within a priority")
+    p_submit.add_argument("--tenant", default=None, metavar="NAME",
+                          help="tenant tag for per-tenant fleet stats "
+                               "and rogue scoring (default: 'default')")
     p_submit.add_argument("--timeout", type=float, default=None,
                           metavar="SECONDS",
                           help="server-side deadline covering queue + run")

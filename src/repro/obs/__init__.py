@@ -11,8 +11,24 @@
   ``meminfo``, ``vmstat``, ``pressure/{memory,io,cpu}``, per-app memcg
   stat files and the freezer cgroup state from the authoritative kernel
   objects, as text or JSON.
+* :mod:`repro.obs.metrics` — a process-wide metrics registry (monotonic
+  counters, gauges, log-bucketed latency histograms) with Prometheus
+  text exposition, used by the serve control plane's ``GET /metrics``
+  endpoint, plus RSS/tracemalloc memory-accounting helpers.
 """
 
+from repro.obs.metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+    get_registry,
+    latency_summary,
+    memory_snapshot,
+    read_rss_bytes,
+    validate_exposition,
+)
 from repro.obs.psi import (
     PSI_UPDATE_MS,
     PsiEvent,
@@ -25,6 +41,11 @@ from repro.obs.psi import (
 from repro.obs.procfs import ProcFs
 
 __all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
     "PSI_UPDATE_MS",
     "ProcFs",
     "PsiEvent",
@@ -33,4 +54,9 @@ __all__ = [
     "PsiMonitor",
     "PsiTrigger",
     "StallClock",
+    "get_registry",
+    "latency_summary",
+    "memory_snapshot",
+    "read_rss_bytes",
+    "validate_exposition",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed result store: memory tier + optional disk tier.
+"""Content-addressed result store: budgeted memory tier + disk tier.
 
 Results are keyed by :meth:`RunRequest.cache_key` — a hash of the
 request's canonical form — so the key *is* the proof that a stored
@@ -7,11 +7,26 @@ equal inputs hash equally, and unequal inputs cannot collide into each
 other's entries (modulo sha256).  Duplicate submissions are therefore
 served without spawning a worker at all.
 
-The memory tier is a plain dict (fast path, always on).  The disk tier
-is optional (``cache_dir``): one JSON file per key, written atomically
-(temp file + ``os.replace``) so a killed server never leaves a torn
-entry, and re-read lazily so a restarted server warms itself from disk
-as requests arrive.
+The memory tier is a size-aware LRU under a byte budget.  An unbounded
+dict here is the classic slow leak — tens of entries can quietly cost
+hundreds of MB of RSS on a long-lived server — so every entry is
+charged its canonical-JSON size on admission, reads refresh recency,
+and admission evicts from the cold end until the budget holds again.
+The budget is a hard cap: an entry larger than the entire budget is
+never admitted to memory (it still lands on disk).  Eviction only
+forgets the *memory* copy; the content address makes that safe — an
+evicted result is either re-read from the disk tier or deterministically
+recomputed.
+
+The disk tier is optional (``cache_dir``): one JSON file per key,
+written atomically (temp file + ``os.replace``) so a killed server
+never leaves a torn entry, and re-read lazily so a restarted server
+warms itself from disk as requests arrive.
+
+Hit/miss counters are split by tier — a single blended ``hits`` number
+hides whether the disk tier is earning its I/O — and every counter is
+optionally mirrored into a :class:`~repro.obs.metrics.MetricsRegistry`
+for ``GET /metrics`` scrapes.
 """
 
 from __future__ import annotations
@@ -20,22 +35,70 @@ import json
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from typing import Dict, Optional
+
+from repro.serve.spec import canonical_size_bytes
 
 CACHE_SCHEMA_VERSION = 1
 
+# Default memory-tier budget used by the serve plane (overridable via
+# `repro serve --cache-budget-mb`).  Direct constructions default to
+# unbounded for backward compatibility.
+DEFAULT_MEMORY_BUDGET_BYTES = 64 * 1024 * 1024
+
 
 class ResultCache:
-    """Two-tier (memory + optional JSON-on-disk) result store."""
+    """Two-tier (budgeted-LRU memory + optional JSON-on-disk) store."""
 
-    def __init__(self, cache_dir: Optional[str] = None):
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        memory_budget_bytes: Optional[int] = None,
+        registry=None,
+    ):
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive or None")
         self.cache_dir = cache_dir
-        self._memory: Dict[str, dict] = {}
-        self.hits = 0
+        self.memory_budget_bytes = memory_budget_bytes
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self.memory_bytes = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
         self.misses = 0
+        self.evictions = 0
         self.disk_loads = 0
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
+        self._hits_counter = None
+        self._misses_counter = None
+        self._evictions_counter = None
+        if registry is not None:
+            self._hits_counter = registry.counter(
+                "repro_serve_cache_hits_total",
+                "Result-cache hits by tier", labelnames=("tier",),
+            )
+            # Touch both tier children so the scrape shows them at 0.
+            self._hits_counter.labels("memory")
+            self._hits_counter.labels("disk")
+            self._misses_counter = registry.counter(
+                "repro_serve_cache_misses_total", "Result-cache misses",
+            )
+            self._evictions_counter = registry.counter(
+                "repro_serve_cache_evictions_total",
+                "Memory-tier entries evicted to honor the byte budget",
+            )
+            registry.gauge(
+                "repro_serve_cache_memory_bytes",
+                "Canonical-JSON bytes held by the memory tier",
+                fn=lambda: self.memory_bytes,
+            )
+            registry.gauge(
+                "repro_serve_cache_entries",
+                "Entries resident in the memory tier",
+                fn=lambda: len(self._memory),
+            )
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -44,16 +107,25 @@ class ResultCache:
     def get(self, key: str) -> Optional[dict]:
         """The cached result document, or None (counts a hit/miss)."""
         entry = self._memory.get(key)
-        if entry is None and self.cache_dir:
+        if entry is not None:
+            self._memory.move_to_end(key)  # refresh LRU recency
+            self.memory_hits += 1
+            if self._hits_counter is not None:
+                self._hits_counter.labels("memory").inc()
+            return entry["result"]
+        if self.cache_dir:
             entry = self._load_from_disk(key)
             if entry is not None:
-                self._memory[key] = entry
                 self.disk_loads += 1
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry["result"]
+                self._admit(key, entry)
+                self.disk_hits += 1
+                if self._hits_counter is not None:
+                    self._hits_counter.labels("disk").inc()
+                return entry["result"]
+        self.misses += 1
+        if self._misses_counter is not None:
+            self._misses_counter.inc()
+        return None
 
     def _load_from_disk(self, key: str) -> Optional[dict]:
         try:
@@ -80,9 +152,37 @@ class ResultCache:
             "request": request,
             "result": result,
         }
-        self._memory[key] = entry
+        self._admit(key, entry)
         if self.cache_dir:
             self._write_to_disk(key, entry)
+
+    # ------------------------------------------------------------------
+    # Memory tier: size-aware LRU under the byte budget
+    # ------------------------------------------------------------------
+    def _admit(self, key: str, entry: dict) -> None:
+        cost = canonical_size_bytes(entry)
+        if key in self._memory:
+            self.memory_bytes -= self._sizes.pop(key)
+            del self._memory[key]
+        budget = self.memory_budget_bytes
+        if budget is not None and cost > budget:
+            # Larger than the whole budget: admitting it would evict
+            # everything *and* still bust the cap, so it lives on disk
+            # (or gets recomputed) instead.
+            self.evictions += 1
+            if self._evictions_counter is not None:
+                self._evictions_counter.inc()
+            return
+        self._memory[key] = entry
+        self._sizes[key] = cost
+        self.memory_bytes += cost
+        if budget is not None:
+            while self.memory_bytes > budget and len(self._memory) > 1:
+                cold_key, _ = self._memory.popitem(last=False)
+                self.memory_bytes -= self._sizes.pop(cold_key)
+                self.evictions += 1
+                if self._evictions_counter is not None:
+                    self._evictions_counter.inc()
 
     def _write_to_disk(self, key: str, entry: dict) -> None:
         fd, tmp_path = tempfile.mkstemp(
@@ -110,6 +210,11 @@ class ResultCache:
         return len(self._memory)
 
     @property
+    def hits(self) -> int:
+        """Total hits across tiers (memory + disk)."""
+        return self.memory_hits + self.disk_hits
+
+    @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
@@ -117,9 +222,14 @@ class ResultCache:
     def stats(self) -> dict:
         return {
             "entries": self.entries,
+            "memory_bytes": self.memory_bytes,
+            "memory_budget_bytes": self.memory_budget_bytes,
             "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
             "disk_loads": self.disk_loads,
             "disk_dir": self.cache_dir,
         }

@@ -86,6 +86,7 @@ class ServeClient:
         priority: Optional[int] = None,
         timeout_s: Optional[float] = None,
         progress_interval_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> dict:
         """POST the request; returns the job snapshot (maybe cached)."""
         body = dict(
@@ -97,6 +98,8 @@ class ServeClient:
             body["timeout_s"] = timeout_s
         if progress_interval_ms is not None:
             body["progress_interval_ms"] = progress_interval_ms
+        if tenant is not None:
+            body["tenant"] = tenant
         return self._checked("POST", "/v1/runs", body)
 
     def get(self, job_id: str) -> dict:
@@ -110,6 +113,25 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self._checked("GET", "/v1/stats")
+
+    def metrics_text(self) -> str:
+        """Scrape ``GET /metrics``: the Prometheus exposition document."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    doc = json.loads(raw)
+                except json.JSONDecodeError:
+                    doc = {"error": raw.decode("utf-8", "replace")}
+                raise ServeError(response.status, doc)
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
 
     def wait(
         self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1

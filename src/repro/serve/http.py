@@ -15,7 +15,11 @@ Endpoints (all under ``/v1``):
 * ``DELETE /v1/runs/<id>``        — cancel a queued job (409 once running).
 * ``GET    /v1/healthz``          — liveness + drain state.
 * ``GET    /v1/stats``            — queue depth, cache hit rate, worker
-  utilization, job state counts.
+  utilization, job state counts, per-priority-class latency
+  percentiles, an RSS/tracemalloc/cache memory breakdown, per-tenant
+  rogue scores, and the most recent runs.
+* ``GET    /metrics``             — Prometheus text exposition from the
+  server's metrics registry (counters, gauges, latency histograms).
 
 On SIGTERM (or :meth:`SimulationServer.request_shutdown`) the server
 drains gracefully: new submissions get 503 while polls keep working,
@@ -28,15 +32,29 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import tracemalloc
 import uuid
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.apps.catalog import APP_CATALOG
 from repro.devices.specs import DEVICES
+from repro.obs.metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+    latency_summary,
+    memory_snapshot,
+)
 from repro.policies.registry import available_policies
-from repro.serve.cache import ResultCache
-from repro.serve.queue import Job, JobQueue, JobState, QueueFull
+from repro.serve.cache import DEFAULT_MEMORY_BUDGET_BYTES, ResultCache
+from repro.serve.queue import (
+    DEFAULT_TENANT,
+    Job,
+    JobQueue,
+    JobState,
+    QueueFull,
+)
 from repro.serve.spec import RunRequest, SPEC_VERSION
 from repro.serve.workers import WorkerFleet
 
@@ -73,6 +91,18 @@ class ServeConfig:
     # Applied when a submission carries no timeout_s of its own
     # (None = jobs may wait/run forever).
     default_timeout_s: Optional[float] = None
+    # Memory-tier byte budget for the result cache (None = unbounded).
+    cache_budget_bytes: Optional[int] = DEFAULT_MEMORY_BUDGET_BYTES
+    # How often the RSS/tracemalloc gauges are re-sampled.
+    mem_sample_interval_s: float = 10.0
+    # Start tracemalloc at server start (costs ~2x on allocations but
+    # attributes the Python heap precisely).
+    enable_tracemalloc: bool = False
+    # Idle SSE followers get a `: ping` comment frame at this interval
+    # so read-timeout clients can tell a quiet stream from a dead one.
+    sse_keepalive_s: float = 15.0
+    # How many recently submitted runs /v1/stats lists (fleet console).
+    recent_jobs: int = 20
 
 
 class _BadRequest(Exception):
@@ -84,12 +114,22 @@ class SimulationServer:
 
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
-        self.cache = ResultCache(self.config.cache_dir)
-        self.queue = JobQueue(maxsize=self.config.queue_depth)
+        # Per-instance registry: two servers in one process (tests)
+        # must not collide on family names or blend their counters.
+        self.registry = MetricsRegistry()
+        self.cache = ResultCache(
+            self.config.cache_dir,
+            memory_budget_bytes=self.config.cache_budget_bytes,
+            registry=self.registry,
+        )
+        self.queue = JobQueue(
+            maxsize=self.config.queue_depth, registry=self.registry
+        )
         self.fleet = WorkerFleet(
             size=self.config.workers,
             max_retries=self.config.max_retries,
             on_progress=self._on_progress,
+            registry=self.registry,
         )
         self.jobs: Dict[str, Job] = {}
         self.submitted_total = 0
@@ -103,6 +143,50 @@ class SimulationServer:
         self._stopped = asyncio.Event()
         self._drain_task: Optional[asyncio.Task] = None
         self._started_at: Optional[float] = None
+        self._mem_task: Optional[asyncio.Task] = None
+        self._memory_sample = memory_snapshot()
+        # Per-tenant accumulators for the fleet console's rogue scores.
+        self.tenants: Dict[str, dict] = {}
+        self._recent: deque = deque(maxlen=max(1, self.config.recent_jobs))
+        self._submitted_counter = self.registry.counter(
+            "repro_serve_jobs_submitted_total",
+            "Submissions admitted (including cache hits)",
+        )
+        self._cache_hit_jobs_counter = self.registry.counter(
+            "repro_serve_cache_hit_jobs_total",
+            "Submissions answered from the result cache without queueing",
+        )
+        self._responses_counter = self.registry.counter(
+            "repro_serve_http_responses_total",
+            "HTTP responses by status code", labelnames=("status",),
+        )
+        self._keepalive_counter = self.registry.counter(
+            "repro_serve_sse_keepalives_total",
+            "SSE `: ping` comment frames written to idle followers",
+        )
+        self._e2e_hist = self.registry.histogram(
+            "repro_serve_e2e_seconds",
+            "Submit-to-done latency per priority class "
+            "(includes cache hits)",
+            labelnames=("priority_class",),
+            min_value=0.001,
+        )
+        self._rss_gauge = self.registry.gauge(
+            "repro_process_rss_bytes",
+            "Resident set size sampled every mem_sample_interval_s",
+        )
+        self._tm_current_gauge = self.registry.gauge(
+            "repro_process_tracemalloc_bytes",
+            "tracemalloc-traced Python heap (0 when not tracing)",
+        )
+        self._tm_peak_gauge = self.registry.gauge(
+            "repro_process_tracemalloc_peak_bytes",
+            "tracemalloc peak traced heap (0 when not tracing)",
+        )
+        self.registry.gauge(
+            "repro_serve_uptime_seconds", "Seconds since server start",
+            fn=lambda: self.healthz()["uptime_s"],
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -110,13 +194,35 @@ class SimulationServer:
     async def start(self) -> None:
         loop = asyncio.get_event_loop()
         self._started_at = loop.time()
+        if self.config.enable_tracemalloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
         self.fleet.start(loop)
         self._slots = asyncio.Semaphore(self.config.workers)
         self._supervisor_task = asyncio.ensure_future(self._supervise())
+        self._sample_memory()
+        self._mem_task = asyncio.ensure_future(self._memory_sampler())
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def _sample_memory(self) -> dict:
+        sample = memory_snapshot()
+        self._memory_sample = sample
+        self._rss_gauge.set(sample["rss_bytes"])
+        self._tm_current_gauge.set(sample["tracemalloc"]["current_bytes"])
+        self._tm_peak_gauge.set(sample["tracemalloc"]["peak_bytes"])
+        return sample
+
+    async def _memory_sampler(self) -> None:
+        """Refresh the RSS/tracemalloc gauges on a fixed interval."""
+        interval = max(0.05, self.config.mem_sample_interval_s)
+        while True:
+            await asyncio.sleep(interval)
+            self._sample_memory()
 
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT → graceful drain (main-thread loops only)."""
@@ -155,6 +261,8 @@ class SimulationServer:
             for task in list(self._job_tasks):
                 task.cancel()
             await asyncio.gather(*list(self._job_tasks), return_exceptions=True)
+        if self._mem_task is not None:
+            self._mem_task.cancel()
         self.fleet.shutdown(wait=True)
         if self._server is not None:
             self._server.close()
@@ -226,9 +334,11 @@ class SimulationServer:
                 return
             job.result = outcome["result"]
             job.state = JobState.DONE
+            job.finished_at = loop.time()
             self.cache.put(
                 job.cache_key, job.result, request=job.request.to_dict()
             )
+            job.stored_at = loop.time()
             job.add_event("done", {
                 "cache_hit": False,
                 "worker_pid": outcome.get("worker_pid"),
@@ -238,7 +348,41 @@ class SimulationServer:
         finally:
             if job.finished_at is None:
                 job.finished_at = loop.time()
+            self._account_terminal(job)
             self._slots.release()
+
+    def _tenant_acc(self, tenant: str) -> dict:
+        acc = self.tenants.get(tenant)
+        if acc is None:
+            acc = self.tenants[tenant] = {
+                "submitted": 0, "cache_hits": 0, "done": 0, "failed": 0,
+                "expired": 0, "cancelled": 0,
+                "exec_s": 0.0, "queue_wait_s": 0.0,
+            }
+        return acc
+
+    def _account_terminal(self, job: Job) -> None:
+        """Fold a finished job into latency + tenant accumulators."""
+        acc = self._tenant_acc(job.tenant)
+        spans = job.spans()
+        if spans["queue_wait_s"] is not None:
+            acc["queue_wait_s"] += spans["queue_wait_s"]
+        if job.state == JobState.DONE:
+            acc["done"] += 1
+            if spans["exec_s"] is not None:
+                acc["exec_s"] += spans["exec_s"]
+            if spans["e2e_s"] is not None:
+                self._e2e_hist.labels(job.priority_class).observe(
+                    spans["e2e_s"]
+                )
+        elif job.state == JobState.FAILED:
+            acc["failed"] += 1
+            if spans["exec_s"] is not None:
+                acc["exec_s"] += spans["exec_s"]
+        elif job.state == JobState.EXPIRED:
+            acc["expired"] += 1
+        elif job.state == JobState.CANCELLED:
+            acc["cancelled"] += 1
 
     def _on_progress(self, message: dict) -> None:
         job = self.jobs.get(message.get("job_id", ""))
@@ -262,6 +406,7 @@ class SimulationServer:
             id=f"run-{uuid.uuid4().hex[:12]}",
             request=request,
             priority=options["priority"],
+            tenant=options["tenant"],
             submitted_at=loop.time(),
             progress_interval_ms=options["progress_interval_ms"],
         )
@@ -272,6 +417,9 @@ class SimulationServer:
             job.deadline_at = job.submitted_at + timeout_s
 
         self.submitted_total += 1
+        self._submitted_counter.inc()
+        acc = self._tenant_acc(job.tenant)
+        acc["submitted"] += 1
         cached = self.cache.get(job.cache_key)
         if cached is not None:
             # Served straight from the content address: no queueing, no
@@ -279,9 +427,16 @@ class SimulationServer:
             job.cache_hit = True
             job.result = cached
             job.state = JobState.DONE
-            job.finished_at = job.submitted_at
+            job.finished_at = loop.time()
             self.cache_hit_jobs += 1
+            self._cache_hit_jobs_counter.inc()
+            acc["cache_hits"] += 1
+            acc["done"] += 1
+            self._e2e_hist.labels(job.priority_class).observe(
+                job.finished_at - job.submitted_at
+            )
             self.jobs[job.id] = job
+            self._recent.append(job.id)
             job.add_event("done", {
                 "cache_hit": True,
                 "fps": cached.get("fps"),
@@ -290,6 +445,7 @@ class SimulationServer:
             return 200, job
         self.queue.push(job)  # may raise QueueFull -> 429
         self.jobs[job.id] = job
+        self._recent.append(job.id)
         return 202, job
 
     def _parse_submission(self, payload: dict) -> Tuple[dict, RunRequest]:
@@ -300,9 +456,18 @@ class SimulationServer:
             "priority": payload.pop("priority", None),
             "timeout_s": payload.pop("timeout_s", None),
             "progress_interval_ms": payload.pop("progress_interval_ms", None),
+            "tenant": payload.pop("tenant", None),
         }
         if options["priority"] is None:
             options["priority"] = 10
+        if options["tenant"] is None:
+            options["tenant"] = DEFAULT_TENANT
+        if (
+            not isinstance(options["tenant"], str)
+            or not options["tenant"]
+            or len(options["tenant"]) > 64
+        ):
+            raise _BadRequest("tenant must be a non-empty string (<= 64 chars)")
         try:
             options["priority"] = int(options["priority"])
             if options["timeout_s"] is not None:
@@ -354,6 +519,9 @@ class SimulationServer:
         states = {state: 0 for state in JobState.ALL}
         for job in self.jobs.values():
             states[job.state] += 1
+        queue_stats = self.queue.stats()
+        fleet_stats = self.fleet.stats()
+        cache_stats = self.cache.stats()
         doc = self.healthz()
         doc.update({
             "jobs": {
@@ -361,11 +529,88 @@ class SimulationServer:
                 "cache_hits": self.cache_hit_jobs,
                 **states,
             },
-            "queue": self.queue.stats(),
-            "cache": self.cache.stats(),
-            "workers": self.fleet.stats(),
+            "queue": queue_stats,
+            "cache": cache_stats,
+            "workers": fleet_stats,
+            "latency": {
+                "queue_wait_s": queue_stats["queue_wait_s"],
+                "exec_s": fleet_stats["exec_s"],
+                "e2e_s": latency_summary(self._e2e_hist),
+            },
+            "memory": {
+                **self._memory_sample,
+                "cache_memory_bytes": self.cache.memory_bytes,
+                "cache_budget_bytes": self.cache.memory_budget_bytes,
+            },
+            "tenants": self._tenant_docs(),
+            "recent": [
+                self._recent_doc(job_id) for job_id in reversed(self._recent)
+            ],
         })
         return doc
+
+    def _recent_doc(self, job_id: str) -> dict:
+        job = self.jobs[job_id]
+        return {
+            "id": job.id,
+            "tenant": job.tenant,
+            "state": job.state,
+            "priority": job.priority,
+            "cache_hit": job.cache_hit,
+            "scenario": job.request.scenario,
+            "policy": job.request.policy,
+        }
+
+    def _tenant_docs(self) -> Dict[str, dict]:
+        """Per-tenant shares and a blended rogue score.
+
+        The score maps the SNIPPETS "rogue hunter" dimensions onto
+        queue behavior: blocking (40%) = share of jobs currently
+        parked in the queue, contention (30%) = share of all worker
+        execution seconds consumed, pressure (20%) = share of total
+        submissions, inefficiency (10%) = own failure rate.  1.0 means
+        one tenant owns the whole fleet's pain.
+        """
+        queued_by_tenant: Dict[str, int] = {}
+        for job in self.jobs.values():
+            if job.state == JobState.QUEUED:
+                queued_by_tenant[job.tenant] = (
+                    queued_by_tenant.get(job.tenant, 0) + 1
+                )
+        total_queued = sum(queued_by_tenant.values())
+        total_exec = sum(acc["exec_s"] for acc in self.tenants.values())
+        total_submitted = sum(
+            acc["submitted"] for acc in self.tenants.values()
+        )
+        docs: Dict[str, dict] = {}
+        for tenant, acc in sorted(self.tenants.items()):
+            queued = queued_by_tenant.get(tenant, 0)
+            queue_share = queued / total_queued if total_queued else 0.0
+            exec_share = (
+                acc["exec_s"] / total_exec if total_exec else 0.0
+            )
+            submit_share = (
+                acc["submitted"] / total_submitted if total_submitted else 0.0
+            )
+            attempts = acc["done"] + acc["failed"]
+            failure_rate = acc["failed"] / attempts if attempts else 0.0
+            rogue = (
+                0.4 * queue_share
+                + 0.3 * exec_share
+                + 0.2 * submit_share
+                + 0.1 * failure_rate
+            )
+            docs[tenant] = {
+                **{k: round(v, 4) if isinstance(v, float) else v
+                   for k, v in acc.items()},
+                "queued_now": queued,
+                "queue_share": round(queue_share, 4),
+                "exec_share": round(exec_share, 4),
+                "submit_share": round(submit_share, 4),
+                "failure_rate": round(failure_rate, 4),
+                "rogue_score": round(rogue, 4),
+            }
+        return docs
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -431,6 +676,15 @@ class SimulationServer:
         if path == "/v1/stats" and method == "GET":
             self._write_json(writer, 200, self.stats())
             return
+        if path == "/metrics" and method == "GET":
+            # Refresh the sampled gauges so a scrape is never staler
+            # than the exposition it reads.
+            self._sample_memory()
+            self._write_text(
+                writer, 200, self.registry.render(),
+                content_type=EXPOSITION_CONTENT_TYPE,
+            )
+            return
         if path == "/v1/runs" and method == "POST":
             self._handle_submit(writer, body)
             return
@@ -490,6 +744,7 @@ class SimulationServer:
             self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
             return
         if self.queue.cancel(job_id):
+            self._tenant_acc(job.tenant)["cancelled"] += 1
             self._write_json(writer, 200, job.snapshot())
             return
         self._write_json(writer, 409, {
@@ -508,6 +763,9 @@ class SimulationServer:
             b"Cache-Control: no-cache\r\n"
             b"Connection: close\r\n\r\n"
         )
+        self._responses_counter.labels("200").inc()
+        loop = asyncio.get_event_loop()
+        last_write = loop.time()
         index = 0
         while True:
             while index < len(job.events):
@@ -519,19 +777,39 @@ class SimulationServer:
                 )
                 writer.write(frame.encode("utf-8"))
                 await writer.drain()
+                last_write = loop.time()
                 if event["event"] in _TERMINAL_EVENTS:
                     return
             if job.terminal:
                 return  # terminal state with no more events to send
             await asyncio.sleep(_SSE_POLL_S)
+            # A long-idle follower (queued behind a deep backlog, or a
+            # slow run with no progress sampling) looks exactly like a
+            # dead connection to a client with a read timeout; comment
+            # frames are the SSE-standard heartbeat.
+            if loop.time() - last_write >= self.config.sse_keepalive_s:
+                writer.write(b": ping\n\n")
+                await writer.drain()
+                last_write = loop.time()
+                self._keepalive_counter.inc()
 
-    @staticmethod
-    def _write_json(writer, status: int, doc: dict) -> None:
-        body = json.dumps(doc).encode("utf-8")
+    def _write_json(self, writer, status: int, doc: dict) -> None:
+        self._write_bytes(
+            writer, status, json.dumps(doc).encode("utf-8"),
+            "application/json",
+        )
+
+    def _write_text(self, writer, status: int, text: str,
+                    content_type: str = "text/plain; charset=utf-8") -> None:
+        self._write_bytes(writer, status, text.encode("utf-8"), content_type)
+
+    def _write_bytes(self, writer, status: int, body: bytes,
+                     content_type: str) -> None:
+        self._responses_counter.labels(str(status)).inc()
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Server: {SERVER_NAME}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n"
         )

@@ -27,9 +27,24 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry, latency_summary
 from repro.serve.spec import RunRequest
 
 DEFAULT_PRIORITY = 10
+DEFAULT_TENANT = "default"
+
+
+def priority_class(priority: int) -> str:
+    """Label space for per-class latency metrics.
+
+    Three stable classes instead of one label value per raw integer:
+    an open-ended integer range would mint unbounded metric series.
+    """
+    if priority < DEFAULT_PRIORITY:
+        return "high"
+    if priority == DEFAULT_PRIORITY:
+        return "normal"
+    return "low"
 
 
 class QueueFull(Exception):
@@ -60,6 +75,7 @@ class Job:
     id: str
     request: RunRequest
     priority: int = DEFAULT_PRIORITY
+    tenant: str = DEFAULT_TENANT
     # Monotonic loop time of submission; deadline is absolute loop time
     # (None = wait forever in queue).
     submitted_at: float = 0.0
@@ -70,8 +86,14 @@ class Job:
     attempts: int = 0
     result: Optional[dict] = None
     error: Optional[str] = None
+    # Request-lifecycle span timestamps (monotonic loop/queue-clock
+    # time): enqueue → dispatch (popped for a free worker) → execute
+    # (started_at/finished_at) → cache-store.
+    enqueued_at: Optional[float] = None
+    dispatched_at: Optional[float] = None
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    stored_at: Optional[float] = None
     events: List[dict] = field(default_factory=list)
 
     @property
@@ -81,6 +103,25 @@ class Job:
     @property
     def cache_key(self) -> str:
         return self.request.cache_key()
+
+    @property
+    def priority_class(self) -> str:
+        return priority_class(self.priority)
+
+    def spans(self) -> dict:
+        """Derived per-phase durations (None while a phase is open)."""
+
+        def delta(start, end):
+            if start is None or end is None:
+                return None
+            return round(end - start, 6)
+
+        return {
+            "queue_wait_s": delta(self.enqueued_at, self.dispatched_at),
+            "exec_s": delta(self.started_at, self.finished_at),
+            "store_s": delta(self.finished_at, self.stored_at),
+            "e2e_s": delta(self.submitted_at, self.finished_at),
+        }
 
     def add_event(self, kind: str, data: Optional[dict] = None) -> None:
         """Append to the stream SSE followers replay and poll."""
@@ -92,6 +133,8 @@ class Job:
             "id": self.id,
             "state": self.state,
             "priority": self.priority,
+            "priority_class": self.priority_class,
+            "tenant": self.tenant,
             "cache_hit": self.cache_hit,
             "cache_key": self.cache_key,
             "attempts": self.attempts,
@@ -99,8 +142,12 @@ class Job:
             "result": self.result,
             "error": self.error,
             "submitted_at": self.submitted_at,
+            "enqueued_at": self.enqueued_at,
+            "dispatched_at": self.dispatched_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "stored_at": self.stored_at,
+            "spans": self.spans(),
         }
 
 
@@ -112,7 +159,7 @@ async def _notify(cond: asyncio.Condition) -> None:
 class JobQueue:
     """Bounded, priority-ordered, deadline-aware asyncio job queue."""
 
-    def __init__(self, maxsize: int = 64, clock=None):
+    def __init__(self, maxsize: int = 64, clock=None, registry=None):
         if maxsize <= 0:
             raise ValueError("queue maxsize must be positive")
         self.maxsize = maxsize
@@ -127,6 +174,37 @@ class JobQueue:
         self.expired_total = 0
         self.cancelled_total = 0
         self._closed = False
+        # Metrics: a private registry when none is shared keeps the
+        # span accounting identical whether or not a scrape endpoint
+        # exists (unit tests read stats() from the same histograms).
+        registry = registry or MetricsRegistry()
+        self._wait_hist = registry.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Time between enqueue and dispatch to a worker slot, "
+            "per priority class",
+            labelnames=("priority_class",),
+            min_value=0.001,
+        )
+        self._enqueued_counter = registry.counter(
+            "repro_serve_queue_enqueued_total",
+            "Jobs admitted to the queue", labelnames=("priority_class",),
+        )
+        self._expired_counter = registry.counter(
+            "repro_serve_queue_expired_total",
+            "Jobs whose deadline passed while still queued",
+        )
+        self._cancelled_counter = registry.counter(
+            "repro_serve_queue_cancelled_total",
+            "Queued jobs cancelled before dispatch",
+        )
+        registry.gauge(
+            "repro_serve_queue_depth",
+            "Jobs admitted and still waiting", fn=lambda: self.depth,
+        )
+        registry.gauge(
+            "repro_serve_queue_capacity",
+            "Depth bound before 429 backpressure", fn=lambda: self.maxsize,
+        )
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -147,9 +225,11 @@ class JobQueue:
                 f"queue full ({self.depth}/{self.maxsize} jobs waiting)"
             )
         job.state = JobState.QUEUED
+        job.enqueued_at = self._now()
         heapq.heappush(self._heap, (job.priority, next(self._seq), job))
         self._queued[job.id] = job
         self.enqueued_total += 1
+        self._enqueued_counter.labels(job.priority_class).inc()
         job.add_event("queued", {
             "priority": job.priority, "depth": self.depth,
         })
@@ -164,6 +244,7 @@ class JobQueue:
         job.state = JobState.CANCELLED
         job.finished_at = self._now()
         self.cancelled_total += 1
+        self._cancelled_counter.inc()
         job.add_event("cancelled", {})
         return True
 
@@ -189,7 +270,7 @@ class JobQueue:
         while self._heap:
             _prio, _seq, job = heapq.heappop(self._heap)
             if job.id not in self._queued:
-                continue  # cancelled tombstone
+                continue  # cancelled tombstone: never observed as latency
             del self._queued[job.id]
             if job.deadline_at is not None and now > job.deadline_at:
                 job.state = JobState.EXPIRED
@@ -199,8 +280,17 @@ class JobQueue:
                     f"{now - job.submitted_at:.3f}s waiting"
                 )
                 self.expired_total += 1
+                self._expired_counter.inc()
                 job.add_event("expired", {"error": job.error})
                 continue
+            # Only genuinely dispatched jobs contribute to the wait
+            # histograms; tombstones and expiries would skew p99 with
+            # durations no worker ever saw.
+            job.dispatched_at = now
+            if job.enqueued_at is not None:
+                self._wait_hist.labels(job.priority_class).observe(
+                    now - job.enqueued_at
+                )
             return job
         return None
 
@@ -224,4 +314,5 @@ class JobQueue:
             "enqueued_total": self.enqueued_total,
             "expired_total": self.expired_total,
             "cancelled_total": self.cancelled_total,
+            "queue_wait_s": latency_summary(self._wait_hist),
         }

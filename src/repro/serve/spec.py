@@ -30,6 +30,22 @@ SPEC_VERSION = 1
 _KEY_PREFIX = f"repro-run-v{SPEC_VERSION}:"
 
 
+def canonical_dumps(doc: object) -> str:
+    """Stable JSON form: sorted keys, no whitespace.
+
+    Used both for the request's content address and for costing cache
+    entries (the byte budget charges each entry its canonical-JSON
+    size, so the accounting is deterministic and platform-independent
+    rather than an estimate of interpreter object overhead).
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_size_bytes(doc: object) -> int:
+    """UTF-8 byte length of the canonical JSON form of ``doc``."""
+    return len(canonical_dumps(doc).encode("utf-8"))
+
+
 @dataclass(frozen=True)
 class RunRequest:
     """One simulation's complete input set.
@@ -100,9 +116,7 @@ class RunRequest:
 
     def canonical_json(self) -> str:
         """The stable serialized form the cache key is derived from."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        return canonical_dumps(self.to_dict())
 
     def cache_key(self) -> str:
         """Content address: sha256 over the versioned canonical JSON."""

@@ -125,6 +125,7 @@ class WorkerFleet:
         size: int = 2,
         max_retries: int = 1,
         on_progress: Optional[Callable[[dict], None]] = None,
+        registry=None,
     ):
         if size <= 0:
             raise ValueError("fleet size must be positive")
@@ -142,6 +143,39 @@ class WorkerFleet:
         self.failed_total = 0
         self.retries_total = 0
         self.crashes_total = 0
+        # Metrics (a private registry when none is shared, so exec
+        # latency summaries work identically without a scrape endpoint).
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = registry or MetricsRegistry()
+        self._exec_hist = registry.histogram(
+            "repro_serve_exec_seconds",
+            "Worker wall-clock per successful attempt, per priority class",
+            labelnames=("priority_class",),
+            min_value=0.001,
+        )
+        self._counters = {
+            name: registry.counter(f"repro_serve_worker_{name}_total", help_text)
+            for name, help_text in (
+                ("started", "Job attempts handed to the pool"),
+                ("completed", "Attempts that returned a result"),
+                ("failed", "Jobs failed after exhausting retries"),
+                ("retries", "Attempts retried after a worker crash"),
+                ("crashes", "BrokenProcessPool events observed"),
+            )
+        }
+        registry.gauge(
+            "repro_serve_workers_busy",
+            "Attempts currently executing on the pool", fn=lambda: self.busy,
+        )
+        registry.gauge(
+            "repro_serve_workers_size",
+            "Configured pool size", fn=lambda: self.size,
+        )
+        registry.gauge(
+            "repro_serve_worker_utilization",
+            "busy / pool size", fn=lambda: self.utilization,
+        )
 
     # ------------------------------------------------------------------
     def start(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
@@ -200,12 +234,15 @@ class WorkerFleet:
         """
         if self._pool is None:
             raise RuntimeError("fleet not started")
+        loop = asyncio.get_event_loop()
         last_error: Optional[BaseException] = None
         for attempt in range(self.max_retries + 1):
             pool = self._pool
             job.attempts += 1
             self.started_total += 1
+            self._counters["started"].inc()
             self.busy += 1
+            attempt_started = loop.time()
             try:
                 future = pool.submit(
                     execute_request,
@@ -214,10 +251,12 @@ class WorkerFleet:
                 outcome = await asyncio.wrap_future(future)
             except BrokenProcessPool as exc:
                 self.crashes_total += 1
+                self._counters["crashes"].inc()
                 last_error = exc
                 self._rebuild_pool(pool)
                 if attempt < self.max_retries:
                     self.retries_total += 1
+                    self._counters["retries"].inc()
                     job.add_event("retry", {
                         "attempt": job.attempts,
                         "reason": "worker process died",
@@ -227,13 +266,19 @@ class WorkerFleet:
                 raise
             except Exception:
                 self.failed_total += 1
+                self._counters["failed"].inc()
                 raise
             else:
                 self.completed_total += 1
+                self._counters["completed"].inc()
+                self._exec_hist.labels(job.priority_class).observe(
+                    loop.time() - attempt_started
+                )
                 return outcome
             finally:
                 self.busy -= 1
         self.failed_total += 1
+        self._counters["failed"].inc()
         raise WorkerCrashed(
             f"worker died {job.attempts} time(s) running {job.id}"
         ) from last_error
@@ -244,6 +289,8 @@ class WorkerFleet:
         return self.busy / self.size if self.size else 0.0
 
     def stats(self) -> dict:
+        from repro.obs.metrics import latency_summary
+
         return {
             "pool_size": self.size,
             "busy": self.busy,
@@ -253,6 +300,7 @@ class WorkerFleet:
             "failed_total": self.failed_total,
             "retries_total": self.retries_total,
             "crashes_total": self.crashes_total,
+            "exec_s": latency_summary(self._exec_hist),
         }
 
     def shutdown(self, wait: bool = True) -> None:

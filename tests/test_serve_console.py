@@ -1,0 +1,127 @@
+"""Tests for the live fleet pressure console (`repro.serve.console`)."""
+
+import io
+
+from repro.serve.client import ServeClient
+from repro.serve.console import FleetConsole, render_stats
+from repro.serve.http import ServeConfig
+from repro.serve.testing import ServerThread
+
+# A canned /v1/stats document shaped like SimulationServer.stats().
+STATS = {
+    "status": "ok",
+    "uptime_s": 12.0,
+    "queue": {
+        "depth": 2, "capacity": 8, "enqueued_total": 10,
+        "expired_total": 1, "cancelled_total": 0,
+    },
+    "workers": {
+        "busy": 1, "pool_size": 2, "utilization": 0.5,
+        "completed_total": 7, "failed_total": 1,
+        "retries_total": 0, "crashes_total": 0,
+    },
+    "cache": {
+        "entries": 5, "memory_bytes": 2048, "memory_budget_bytes": 4096,
+        "hit_rate": 0.25, "memory_hits": 2, "disk_hits": 1,
+        "misses": 9, "evictions": 3,
+    },
+    "memory": {
+        "rss_bytes": 50 * 1024 * 1024,
+        "tracemalloc": {
+            "enabled": True,
+            "current_bytes": 1024 * 1024,
+            "peak_bytes": 2 * 1024 * 1024,
+        },
+        "cache_memory_bytes": 2048,
+        "cache_budget_bytes": 4096,
+    },
+    "latency": {
+        "queue_wait_s": {
+            "normal": {"count": 7, "mean": 0.01, "p50": 0.01,
+                       "p95": 0.02, "p99": 0.03, "max": 0.04},
+        },
+        "exec_s": {},
+        "e2e_s": {},
+    },
+    "tenants": {
+        "team-red": {
+            "submitted": 8, "queued_now": 2, "exec_s": 3.5,
+            "failure_rate": 0.125, "rogue_score": 0.83,
+        },
+        "default": {
+            "submitted": 2, "queued_now": 0, "exec_s": 0.5,
+            "failure_rate": 0.0, "rogue_score": 0.17,
+        },
+    },
+    "recent": [
+        {"id": "run-abc", "state": "running", "priority": 10,
+         "tenant": "team-red", "scenario": "S-A", "policy": "LRU+CFS",
+         "cache_hit": False},
+        {"id": "run-xyz", "state": "done", "priority": 10,
+         "tenant": "default", "scenario": "S-A", "policy": "LRU+CFS",
+         "cache_hit": True},
+    ],
+}
+
+
+def test_render_stats_shows_every_section():
+    frame = render_stats(
+        STATS,
+        events=[("run-abc", "running", {}), ("run-abc", "sample",
+                                             {"fps": 45.5})],
+        base_url="http://127.0.0.1:9",
+    )
+    assert "repro-serve fleet console http://127.0.0.1:9" in frame
+    assert "queue    depth 2/8" in frame
+    assert "workers  busy 1/2" in frame
+    assert "evictions 3" in frame
+    assert "2.0 KiB / 4.0 KiB" in frame      # cache bytes vs budget
+    assert "rss 50.0 MiB" in frame
+    assert "tracemalloc 1.0 MiB (peak 2.0 MiB)" in frame
+    assert "queue_wait_s" in frame and "p95=" in frame
+    assert "team-red" in frame and "rogue  0.83" in frame
+    assert "run-abc" in frame and "(cache)" in frame
+    assert "fps=45.5" in frame
+
+
+def test_render_stats_ranks_tenants_by_rogue_score():
+    frame = render_stats(STATS)
+    assert frame.index("team-red") < frame.index("default")
+
+
+def test_render_stats_survives_minimal_document():
+    # A nearly-empty stats doc (fresh server) renders without crashing.
+    frame = render_stats({"status": "ok", "uptime_s": 0.0})
+    assert "repro-serve fleet console" in frame
+    assert "queue" in frame
+
+
+def test_render_stats_unbounded_budget_label():
+    stats = dict(STATS)
+    stats["cache"] = dict(STATS["cache"], memory_budget_bytes=None)
+    assert "unbounded" in render_stats(stats)
+
+
+def test_console_frames_against_live_server():
+    config = ServeConfig(port=0, workers=1)
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        client.run({
+            "scenario": "S-A", "bg_case": "bg-null",
+            "seconds": 2.0, "seed": 60,
+        }, timeout_s=120.0)
+        out = io.StringIO()
+        console = FleetConsole(client, every_s=0.1, plain=True, out=out)
+        assert console.run(iterations=2) == 0
+        text = out.getvalue()
+        assert "repro-serve fleet console" in text
+        assert "workers  busy" in text
+        assert "\x1b[2J" not in text  # plain mode: no ANSI clears
+
+
+def test_console_reports_unreachable_server():
+    client = ServeClient("http://127.0.0.1:1")  # nothing listens here
+    out = io.StringIO()
+    console = FleetConsole(client, every_s=0.1, plain=True, out=out)
+    assert console.run(iterations=1) == 0
+    assert "unreachable" in out.getvalue()

@@ -119,6 +119,172 @@ def test_healthz_reports_ok(client):
     assert doc["uptime_s"] >= 0
 
 
+def test_metrics_scrape_is_valid_prometheus(client):
+    from repro.obs.metrics import validate_exposition
+
+    client.run(REQUEST, timeout_s=120.0)  # ensure at least one job ran
+    text = client.metrics_text()
+    types = validate_exposition(text)
+    # The core serve families, with correct types.
+    assert types["repro_serve_jobs_submitted_total"] == "counter"
+    assert types["repro_serve_cache_evictions_total"] == "counter"
+    assert types["repro_serve_queue_wait_seconds"] == "histogram"
+    assert types["repro_serve_exec_seconds"] == "histogram"
+    assert types["repro_serve_e2e_seconds"] == "histogram"
+    assert types["repro_process_rss_bytes"] == "gauge"
+    # Histograms carry the full _bucket/_sum/_count shape with labels.
+    assert 'repro_serve_e2e_seconds_bucket{priority_class="normal",le="+Inf"}' in text
+    assert 'repro_serve_cache_hits_total{tier="memory"}' in text
+    assert 'repro_serve_cache_hits_total{tier="disk"}' in text
+    # A live RSS sample made it into the scrape.
+    rss_line = next(
+        line for line in text.splitlines()
+        if line.startswith("repro_process_rss_bytes ")
+    )
+    assert float(rss_line.split()[1]) > 0
+
+
+def test_stats_reports_latency_memory_tenants_recent(client):
+    client.run(REQUEST, timeout_s=120.0)
+    stats = client.stats()
+
+    latency = stats["latency"]
+    assert set(latency) == {"queue_wait_s", "exec_s", "e2e_s"}
+    for name in ("queue_wait_s", "exec_s", "e2e_s"):
+        assert latency[name]["normal"]["count"] >= 1
+        doc = latency[name]["normal"]
+        assert doc["p50"] <= doc["p95"] <= doc["p99"] <= doc["max"] * 1.001
+
+    memory = stats["memory"]
+    assert memory["rss_bytes"] > 0
+    assert "tracemalloc" in memory
+    assert memory["cache_memory_bytes"] >= 0
+    assert memory["cache_budget_bytes"] is None or (
+        memory["cache_memory_bytes"] <= memory["cache_budget_bytes"]
+    )
+
+    # Tier-split cache counters surface in /v1/stats.
+    cache = stats["cache"]
+    assert {"memory_hits", "disk_hits", "evictions",
+            "memory_bytes"} <= set(cache)
+    assert cache["hits"] == cache["memory_hits"] + cache["disk_hits"]
+
+    tenants = stats["tenants"]
+    assert "default" in tenants
+    doc = tenants["default"]
+    assert {"rogue_score", "queue_share", "exec_share", "submit_share",
+            "failure_rate", "submitted"} <= set(doc)
+    assert 0.0 <= doc["rogue_score"] <= 1.0
+
+    recent = stats["recent"]
+    assert recent, "recent runs list is empty"
+    assert {"id", "state", "tenant", "priority", "scenario"} <= set(recent[0])
+
+
+def test_completed_job_snapshot_carries_closed_spans(client):
+    job = client.submit({**REQUEST, "seed": 31})
+    final = client.wait(job["id"], timeout_s=120.0)
+    assert final["state"] == "done"
+    spans = final["spans"]
+    assert spans["queue_wait_s"] >= 0
+    assert spans["exec_s"] > 0
+    assert spans["store_s"] >= 0
+    assert spans["e2e_s"] >= spans["exec_s"]
+    # Raw timestamps are ordered: enqueue <= dispatch <= start <= finish.
+    assert (final["enqueued_at"] <= final["dispatched_at"]
+            <= final["started_at"] <= final["finished_at"])
+
+
+def test_tenant_label_flows_into_stats(client):
+    client.run({**REQUEST, "seed": 32}, timeout_s=120.0, tenant="team-red")
+    stats = client.stats()
+    assert stats["tenants"]["team-red"]["submitted"] >= 1
+    tenant_of = {doc["id"]: doc["tenant"] for doc in stats["recent"]}
+    assert "team-red" in tenant_of.values()
+
+
+def test_bad_tenant_rejected_with_400(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({**REQUEST, "seed": 33}, tenant="x" * 65)
+    assert excinfo.value.status == 400
+
+
+def test_sse_keepalive_comment_frames():
+    """An idle follower receives `: ping` comment frames (satellite 2)."""
+    import http.client as http_client
+
+    config = ServeConfig(port=0, workers=1, sse_keepalive_s=0.2)
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        # The single worker is pinned by a long blocker, so the watched
+        # job stays queued and its stream stays quiet — every frame
+        # after "queued" must be a keepalive, no matter how fast the
+        # simulator runs.
+        blocker = client.submit({
+            "scenario": "S-A", "bg_case": "bg-null",
+            "seconds": 120.0, "seed": 40,
+        })
+        job = client.submit({
+            "scenario": "S-A", "bg_case": "bg-null",
+            "seconds": 2.0, "seed": 41,
+        })
+        conn = http_client.HTTPConnection(
+            client.host, client.port, timeout=30.0
+        )
+        try:
+            conn.request("GET", f"/v1/runs/{job['id']}/events")
+            response = conn.getresponse()
+            assert response.status == 200
+            pings = 0
+            for _ in range(200):
+                line = response.readline().decode("utf-8").rstrip("\n")
+                if line.startswith(": ping"):
+                    pings += 1
+                    if pings >= 2:
+                        break
+            assert pings >= 2, "no keepalive comment frames seen"
+        finally:
+            conn.close()
+        for run_id in (job["id"], blocker["id"]):
+            try:
+                client.cancel(run_id)
+            except ServeError:
+                pass  # already running (409); shutdown drain finishes it
+        scrape = client.metrics_text()
+        keepalive_line = next(
+            line for line in scrape.splitlines()
+            if line.startswith("repro_serve_sse_keepalives_total")
+        )
+        assert float(keepalive_line.split()[1]) >= 2
+
+
+def test_cache_budget_enforced_end_to_end():
+    """A tiny budget forces evictions while answers stay correct."""
+    config = ServeConfig(port=0, workers=1, cache_budget_bytes=2048)
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        results = {}
+        for seed in range(50, 56):
+            final = client.run({
+                "scenario": "S-A", "bg_case": "bg-null",
+                "seconds": 2.0, "seed": seed,
+            }, timeout_s=120.0)
+            assert final["state"] == "done", final.get("error")
+            results[seed] = final["result"]
+        stats = client.stats()
+        cache = stats["cache"]
+        assert cache["memory_budget_bytes"] == 2048
+        assert cache["memory_bytes"] <= 2048
+        assert cache["evictions"] > 0
+        # Resubmitting an evicted request still returns the identical
+        # result (disk tier or recompute — content address guarantees it).
+        final = client.run({
+            "scenario": "S-A", "bg_case": "bg-null",
+            "seconds": 2.0, "seed": 50,
+        }, timeout_s=120.0)
+        assert final["result"] == results[50]
+
+
 def test_queue_backpressure_returns_429():
     # A dedicated tiny server: depth 1 plus one busy worker means the
     # third concurrent submission must be told to back off.

@@ -4,7 +4,13 @@ import asyncio
 
 import pytest
 
-from repro.serve.queue import Job, JobQueue, JobState, QueueFull
+from repro.serve.queue import (
+    Job,
+    JobQueue,
+    JobState,
+    QueueFull,
+    priority_class,
+)
 from repro.serve.spec import RunRequest
 
 
@@ -136,3 +142,121 @@ def test_job_snapshot_shape():
     assert doc["cache_key"] == job.request.cache_key()
     assert doc["request"]["scenario"] == "S-A"
     assert not job.terminal
+
+
+# ----------------------------------------------------------------------
+# Request-lifecycle spans and per-class latency accounting
+# ----------------------------------------------------------------------
+def test_priority_class_boundaries():
+    assert priority_class(0) == "high"
+    assert priority_class(9) == "high"
+    assert priority_class(10) == "normal"
+    assert priority_class(11) == "low"
+    assert _job("j", priority=3).priority_class == "high"
+
+
+def test_queue_wait_span_is_dispatch_minus_enqueue():
+    fake_now = [100.0]
+
+    async def scenario():
+        queue = JobQueue(maxsize=8, clock=lambda: fake_now[0])
+        job = _job("spanned", submitted_at=100.0)
+        queue.push(job)
+        assert job.enqueued_at == 100.0
+        assert job.spans()["queue_wait_s"] is None  # still open
+        fake_now[0] = 102.5
+        popped = await queue.pop()
+        assert popped is job
+        assert job.dispatched_at == 102.5
+        assert job.spans()["queue_wait_s"] == pytest.approx(2.5)
+        # Snapshot carries the raw timestamps and derived spans.
+        doc = job.snapshot()
+        assert doc["enqueued_at"] == 100.0
+        assert doc["dispatched_at"] == 102.5
+        assert doc["spans"]["queue_wait_s"] == pytest.approx(2.5)
+        assert doc["spans"]["exec_s"] is None
+
+    _run(scenario())
+
+
+def test_stats_reports_wait_percentiles_per_priority_class():
+    fake_now = [0.0]
+
+    async def scenario():
+        queue = JobQueue(maxsize=16, clock=lambda: fake_now[0])
+        queue.push(_job("h", priority=1))
+        queue.push(_job("n", priority=10))
+        fake_now[0] = 1.0
+        await queue.pop()  # "h" waited 1s
+        fake_now[0] = 4.0
+        await queue.pop()  # "n" waited 4s
+        stats = queue.stats()
+        wait = stats["queue_wait_s"]
+        assert set(wait) == {"high", "normal"}
+        assert wait["high"]["count"] == 1
+        assert wait["high"]["p50"] == pytest.approx(1.0, rel=0.1)
+        assert wait["normal"]["p50"] == pytest.approx(4.0, rel=0.1)
+
+    _run(scenario())
+
+
+def test_cancelled_tombstones_do_not_pollute_wait_histogram():
+    fake_now = [0.0]
+
+    async def scenario():
+        queue = JobQueue(maxsize=8, clock=lambda: fake_now[0])
+        queue.push(_job("victim"))
+        queue.push(_job("runner"))
+        assert queue.cancel("victim") is True
+        fake_now[0] = 1000.0  # a tombstone wait this long would wreck p99
+        popped = await queue.pop()
+        assert popped.id == "runner"
+        wait = queue.stats()["queue_wait_s"]
+        # Only the genuinely dispatched job was observed.
+        assert wait["normal"]["count"] == 1
+        assert wait["normal"]["max"] == pytest.approx(1000.0, rel=0.1)
+        cancelled = queue._queued.get("victim")
+        assert cancelled is None
+
+    _run(scenario())
+
+
+def test_expired_jobs_do_not_pollute_wait_histogram():
+    fake_now = [0.0]
+
+    async def scenario():
+        queue = JobQueue(maxsize=8, clock=lambda: fake_now[0])
+        queue.push(_job("stale", deadline_at=5.0))
+        queue.push(_job("fresh"))
+        fake_now[0] = 50.0
+        popped = await queue.pop()
+        assert popped.id == "fresh"
+        assert queue.stats()["expired_total"] == 1
+        wait = queue.stats()["queue_wait_s"]
+        assert wait["normal"]["count"] == 1  # only "fresh"
+
+    _run(scenario())
+
+
+def test_queue_metrics_flow_into_shared_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    fake_now = [0.0]
+
+    async def scenario():
+        registry = MetricsRegistry()
+        queue = JobQueue(maxsize=4, clock=lambda: fake_now[0],
+                         registry=registry)
+        queue.push(_job("a", priority=1))
+        fake_now[0] = 0.25
+        await queue.pop()
+        text = registry.render()
+        assert (
+            'repro_serve_queue_enqueued_total{priority_class="high"} 1'
+            in text
+        )
+        assert "repro_serve_queue_wait_seconds_bucket" in text
+        assert "repro_serve_queue_depth 0" in text
+        assert "repro_serve_queue_capacity 4" in text
+
+    _run(scenario())
