@@ -61,6 +61,10 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
                         help="sampler interval in simulated ms")
     parser.add_argument("--trace-buffer", type=int, default=None,
                         help="trace ring-buffer capacity in events")
+    parser.add_argument("--trace-buffer-kb", type=int, default=None,
+                        help="trace ring-buffer byte budget in KiB "
+                             "(composes with --trace-buffer; whichever "
+                             "bound bites first drops the oldest events)")
 
 
 def _print_result(result) -> None:
@@ -83,6 +87,8 @@ def _make_tracer(args: argparse.Namespace) -> Tracer:
     kwargs = {}
     if getattr(args, "trace_buffer", None):
         kwargs["capacity"] = args.trace_buffer
+    if getattr(args, "trace_buffer_kb", None):
+        kwargs["capacity_bytes"] = args.trace_buffer_kb * 1024
     if getattr(args, "engine_events", False):
         kwargs["engine_events"] = True
     return Tracer(**kwargs)
@@ -350,6 +356,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         mem_sample_interval_s=args.mem_sample_every,
         sse_keepalive_s=args.sse_keepalive,
         enable_tracemalloc=args.tracemalloc,
+        job_budget_bytes=(
+            int(args.job_budget_mb * 1024 * 1024)
+            if args.job_budget_mb else None
+        ),
+        job_min_retention_s=args.job_min_retention,
+        max_events_per_job=args.max_job_events or None,
     )
 
     def ready(server) -> None:
@@ -483,6 +495,7 @@ def main(argv=None) -> int:
                          help="also dump the sampler series (.csv or .json)")
     p_trace.add_argument("--sample-ms", type=float, default=DEFAULT_SAMPLE_MS)
     p_trace.add_argument("--trace-buffer", type=int, default=None)
+    p_trace.add_argument("--trace-buffer-kb", type=int, default=None)
     p_trace.add_argument("--engine-events", action="store_true",
                          help="include per-callback engine instants "
                               "(high volume)")
@@ -590,6 +603,20 @@ def main(argv=None) -> int:
     p_serve.add_argument("--tracemalloc", action="store_true",
                          help="start tracemalloc for precise Python-heap "
                               "gauges (adds allocation overhead)")
+    p_serve.add_argument("--job-budget-mb", type=float, default=16.0,
+                         metavar="MB",
+                         help="byte budget for retained terminal jobs; the "
+                              "oldest finished runs are evicted to 410 Gone "
+                              "tombstones past it (0 = retain forever)")
+    p_serve.add_argument("--job-min-retention", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="a finished run is never evicted within this "
+                              "window, budget notwithstanding")
+    p_serve.add_argument("--max-job-events", type=int, default=512,
+                         metavar="N",
+                         help="per-job lifecycle event cap; SSE followers "
+                              "see a dropped_events marker past it "
+                              "(0 = unbounded)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(

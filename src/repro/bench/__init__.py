@@ -14,6 +14,10 @@ Companion tools:
 * ``python -m repro bench compare OLD NEW`` diffs two artifacts and
   exits nonzero on regression (:mod:`repro.bench.compare`) — the CI
   perf gate.
+* ``--soak SECONDS`` boots a live serve-plane server and holds it under
+  sustained mixed-tenant traffic, sampling RSS and stats/metrics
+  consistency into a ``SOAK_<date>.json`` artifact
+  (:mod:`repro.bench.soak`) — the CI leak gate.
 """
 
 from repro.bench.compare import compare_docs
@@ -23,11 +27,23 @@ from repro.bench.runner import (
     run_bench,
     write_bench_file,
 )
+from repro.bench.soak import (
+    SOAK_SCHEMA_VERSION,
+    SoakConfig,
+    check_consistency,
+    run_soak,
+    write_soak_file,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchConfig",
+    "SOAK_SCHEMA_VERSION",
+    "SoakConfig",
+    "check_consistency",
     "compare_docs",
     "run_bench",
+    "run_soak",
     "write_bench_file",
+    "write_soak_file",
 ]

@@ -305,6 +305,27 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
                         help="rows per cell in the --profile table")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help=f"artifact path (default: {'BENCH_<date>.json'})")
+    soak = parser.add_argument_group(
+        "soak mode",
+        "drive a live serve-plane server with sustained traffic and "
+        "sample RSS + accounting invariants (repro.bench.soak)",
+    )
+    soak.add_argument("--soak", type=float, default=None, metavar="SECONDS",
+                      help="run the control-plane soak for at least this "
+                           "many seconds instead of the simulator matrix")
+    soak.add_argument("--soak-submissions", type=int, default=2000,
+                      metavar="N",
+                      help="minimum submissions before the soak may stop")
+    soak.add_argument("--soak-sample-every", type=int, default=250,
+                      metavar="N",
+                      help="sample memory/consistency every N submissions")
+    soak.add_argument("--soak-max-drift-pct", type=float, default=None,
+                      metavar="PCT",
+                      help="fail if post-warmup RSS drift exceeds ±PCT")
+    soak.add_argument("--job-budget-mb", type=float, default=None,
+                      metavar="MB",
+                      help="terminal-job retention budget for the soak "
+                           "server (default 1 MB)")
 
 
 def config_from_args(args: argparse.Namespace) -> BenchConfig:
@@ -337,6 +358,10 @@ def config_from_args(args: argparse.Namespace) -> BenchConfig:
 
 
 def main(args: argparse.Namespace) -> int:
+    if getattr(args, "soak", None) is not None:
+        from repro.bench import soak
+
+        return soak.main(args)
     config = config_from_args(args)
 
     def progress(cell: Dict[str, object]) -> None:

@@ -503,6 +503,44 @@ def validate_exposition(text: str) -> Dict[str, str]:
     return types
 
 
+def parse_samples(text: str) -> Dict[str, float]:
+    """Parse a text exposition into ``{sample_line_key: value}``.
+
+    The key is the sample name with its label set verbatim (e.g.
+    ``repro_serve_queue_enqueued_total{priority_class="interactive"}``);
+    unlabeled samples key on the bare name.  Comment and metadata lines
+    are skipped; malformed sample lines raise :class:`ValueError` (use
+    :func:`validate_exposition` for the full lint).  This is the
+    consumer half of the promtool-lite pair — soak and consistency
+    checks scrape ``/metrics`` and compare these values against
+    ``/v1/stats`` totals.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        key = match.group("name") + (match.group("labels") or "")
+        samples[key] = float(match.group("value"))
+    return samples
+
+
+def family_total(samples: Dict[str, float], name: str) -> float:
+    """Sum every series of one family (all label combinations).
+
+    ``family_total(s, "x_total")`` adds ``x_total`` and every
+    ``x_total{...}`` series, but not ``x_total_created`` — the match is
+    exact-name-then-brace, not a prefix.
+    """
+    total = 0.0
+    for key, value in samples.items():
+        if key == name or key.startswith(name + "{"):
+            total += value
+    return total
+
+
 def _split_label_pairs(inner: str) -> List[str]:
     """Split 'a="x",b="y,z"' on commas outside quoted values."""
     pairs: List[str] = []

@@ -8,6 +8,8 @@ Turns one-shot CLI runs into addressable, deduplicated requests:
 * :mod:`repro.serve.workers` — supervised process-pool fleet with crash
   retry and sampler-fed progress streaming
 * :mod:`repro.serve.cache`   — content-addressed result store
+* :mod:`repro.serve.retention` — byte-budgeted terminal-job table with
+  eviction tombstones (410 Gone)
 * :mod:`repro.serve.http`    — asyncio HTTP/JSON + SSE API
 * :mod:`repro.serve.client`  — blocking client (`repro submit`)
 * :mod:`repro.serve.testing` — in-process server harness
@@ -17,6 +19,7 @@ from repro.serve.cache import ResultCache
 from repro.serve.client import QueueFullError, ServeClient, ServeError
 from repro.serve.http import ServeConfig, SimulationServer, run_server
 from repro.serve.queue import Job, JobQueue, JobState, QueueFull
+from repro.serve.retention import JobTable
 from repro.serve.spec import RunRequest
 from repro.serve.workers import WorkerCrashed, WorkerFleet
 
@@ -24,6 +27,7 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobState",
+    "JobTable",
     "QueueFull",
     "QueueFullError",
     "ResultCache",

@@ -50,10 +50,19 @@ from repro.policies.registry import available_policies
 from repro.serve.cache import DEFAULT_MEMORY_BUDGET_BYTES, ResultCache
 from repro.serve.queue import (
     DEFAULT_TENANT,
+    MAX_PRIORITY,
+    MIN_PRIORITY,
     Job,
     JobQueue,
     JobState,
     QueueFull,
+)
+from repro.serve.retention import (
+    DEFAULT_JOB_BUDGET_BYTES,
+    DEFAULT_MAX_EVENTS_PER_JOB,
+    DEFAULT_MIN_RETENTION_S,
+    DEFAULT_TOMBSTONE_LIMIT,
+    JobTable,
 )
 from repro.serve.spec import RunRequest, SPEC_VERSION
 from repro.serve.workers import WorkerFleet
@@ -62,9 +71,9 @@ SERVER_NAME = f"repro-serve/{SPEC_VERSION}"
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 _TERMINAL_EVENTS = frozenset(
@@ -103,10 +112,24 @@ class ServeConfig:
     sse_keepalive_s: float = 15.0
     # How many recently submitted runs /v1/stats lists (fleet console).
     recent_jobs: int = 20
+    # Terminal-job retention: canonical-JSON byte budget for finished
+    # jobs (None = retain forever, the pre-retention behavior), the
+    # window inside which a finished job is never evicted, and the
+    # bound on eviction tombstones (410 Gone summaries).
+    job_budget_bytes: Optional[int] = DEFAULT_JOB_BUDGET_BYTES
+    job_min_retention_s: float = DEFAULT_MIN_RETENTION_S
+    job_tombstone_limit: int = DEFAULT_TOMBSTONE_LIMIT
+    # Per-job event-list cap; SSE followers see a `dropped_events`
+    # marker where history was lost (None = unbounded).
+    max_events_per_job: Optional[int] = DEFAULT_MAX_EVENTS_PER_JOB
 
 
 class _BadRequest(Exception):
     """Maps to a 400 with the exception text as the error body."""
+
+
+class _PayloadTooLarge(Exception):
+    """Maps to a 413 with the exception text as the error body."""
 
 
 class SimulationServer:
@@ -131,7 +154,15 @@ class SimulationServer:
             on_progress=self._on_progress,
             registry=self.registry,
         )
-        self.jobs: Dict[str, Job] = {}
+        self.table = JobTable(
+            budget_bytes=self.config.job_budget_bytes,
+            min_retention_s=self.config.job_min_retention_s,
+            tombstone_limit=self.config.job_tombstone_limit,
+            registry=self.registry,
+        )
+        # Dequeue-time expiries never surface from queue.pop(); the
+        # callback folds them into tenant/retention accounting anyway.
+        self.queue.on_expired = self._finalize_job
         self.submitted_total = 0
         self.cache_hit_jobs = 0
         self.draining = False
@@ -164,6 +195,10 @@ class SimulationServer:
             "repro_serve_sse_keepalives_total",
             "SSE `: ping` comment frames written to idle followers",
         )
+        self._events_dropped_counter = self.registry.counter(
+            "repro_serve_job_events_dropped_total",
+            "Per-job lifecycle events dropped by the max_events_per_job cap",
+        )
         self._e2e_hist = self.registry.histogram(
             "repro_serve_e2e_seconds",
             "Submit-to-done latency per priority class "
@@ -187,6 +222,11 @@ class SimulationServer:
             "repro_serve_uptime_seconds", "Seconds since server start",
             fn=lambda: self.healthz()["uptime_s"],
         )
+
+    @property
+    def jobs(self) -> Dict[str, Job]:
+        """Live + retained-terminal jobs (the job table's registry)."""
+        return self.table.jobs
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -218,11 +258,18 @@ class SimulationServer:
         return sample
 
     async def _memory_sampler(self) -> None:
-        """Refresh the RSS/tracemalloc gauges on a fixed interval."""
+        """Refresh the RSS/tracemalloc gauges on a fixed interval.
+
+        The same tick re-runs the job-table GC: a burst of results can
+        leave the table over budget but inside the min-retention
+        window, and with no further submissions nothing else would
+        re-enforce the budget once the window passes.
+        """
         interval = max(0.05, self.config.mem_sample_interval_s)
         while True:
             await asyncio.sleep(interval)
             self._sample_memory()
+            self.table.gc()
 
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT → graceful drain (main-thread loops only)."""
@@ -256,8 +303,11 @@ class SimulationServer:
         try:
             await asyncio.wait_for(settle(), timeout=self.config.drain_grace_s)
         except asyncio.TimeoutError:
-            # Grace expired: drop what's left.
-            self.queue.cancel_all()
+            # Grace expired: drop what's left.  The swept jobs go
+            # through the same terminal accounting as a DELETE cancel,
+            # so tenant docs and queue totals agree after a hard drain.
+            for job in self.queue.cancel_all():
+                self._finalize_job(job)
             for task in list(self._job_tasks):
                 task.cancel()
             await asyncio.gather(*list(self._job_tasks), return_exceptions=True)
@@ -296,11 +346,13 @@ class SimulationServer:
             if job.deadline_at is not None:
                 remaining = job.deadline_at - loop.time()
                 if remaining <= 0:
-                    job.state = JobState.EXPIRED
-                    job.error = "deadline exceeded before a worker was free"
-                    job.finished_at = loop.time()
-                    self.queue.expired_total += 1
-                    job.add_event("expired", {"error": job.error})
+                    # One accounting path with dequeue-time expiry:
+                    # queue.expire moves the stats total AND the
+                    # Prometheus counter (they used to diverge here).
+                    self.queue.expire(
+                        job,
+                        reason="deadline exceeded before a worker was free",
+                    )
                     return
             job.state = JobState.RUNNING
             job.started_at = loop.time()
@@ -321,7 +373,7 @@ class SimulationServer:
                     f"{loop.time() - job.submitted_at:.3f}s"
                 )
                 job.add_event("failed", {"error": job.error})
-                return
+                return  # slot release deferred if the attempt lives on
             except asyncio.CancelledError:
                 job.state = JobState.CANCELLED
                 job.error = "server shut down before the job finished"
@@ -348,7 +400,25 @@ class SimulationServer:
         finally:
             if job.finished_at is None:
                 job.finished_at = loop.time()
-            self._account_terminal(job)
+            self._finalize_job(job)
+            # A deadline timeout cancels the awaiting coroutine but a
+            # pool process cannot be interrupted mid-call: the worker
+            # keeps executing, so releasing the slot now would let the
+            # supervisor dispatch more jobs than there are free
+            # workers.  Hold the slot until the abandoned attempt
+            # actually returns.
+            drain = self.fleet.abandoned_drain(job.id)
+            if drain is None:
+                self._slots.release()
+            else:
+                task = asyncio.ensure_future(self._release_slot_after(drain))
+                self._job_tasks.add(task)
+                task.add_done_callback(self._job_tasks.discard)
+
+    async def _release_slot_after(self, drain) -> None:
+        try:
+            await drain
+        finally:
             self._slots.release()
 
     def _tenant_acc(self, tenant: str) -> dict:
@@ -361,8 +431,18 @@ class SimulationServer:
             }
         return acc
 
-    def _account_terminal(self, job: Job) -> None:
-        """Fold a finished job into latency + tenant accumulators."""
+    def _finalize_job(self, job: Job) -> None:
+        """Fold a newly terminal job into every accumulator — once.
+
+        Jobs reach terminal states down several paths (worker return,
+        cache hit, DELETE cancel, queue expiry, forced drain); this is
+        the single place tenant accounting, latency histograms, and
+        job-table retention happen, and the ``finalized`` flag makes a
+        second arrival a no-op.
+        """
+        if job.finalized or not job.terminal:
+            return
+        job.finalized = True
         acc = self._tenant_acc(job.tenant)
         spans = job.spans()
         if spans["queue_wait_s"] is not None:
@@ -383,6 +463,7 @@ class SimulationServer:
             acc["expired"] += 1
         elif job.state == JobState.CANCELLED:
             acc["cancelled"] += 1
+        self.table.note_terminal(job)
 
     def _on_progress(self, message: dict) -> None:
         job = self.jobs.get(message.get("job_id", ""))
@@ -409,6 +490,8 @@ class SimulationServer:
             tenant=options["tenant"],
             submitted_at=loop.time(),
             progress_interval_ms=options["progress_interval_ms"],
+            max_events=self.config.max_events_per_job,
+            on_event_dropped=self._events_dropped_counter.inc,
         )
         timeout_s = options["timeout_s"]
         if timeout_s is None:
@@ -431,20 +514,17 @@ class SimulationServer:
             self.cache_hit_jobs += 1
             self._cache_hit_jobs_counter.inc()
             acc["cache_hits"] += 1
-            acc["done"] += 1
-            self._e2e_hist.labels(job.priority_class).observe(
-                job.finished_at - job.submitted_at
-            )
-            self.jobs[job.id] = job
+            self.table.add(job)
             self._recent.append(job.id)
             job.add_event("done", {
                 "cache_hit": True,
                 "fps": cached.get("fps"),
                 "refault": cached.get("refault"),
             })
+            self._finalize_job(job)  # done count, e2e latency, retention
             return 200, job
         self.queue.push(job)  # may raise QueueFull -> 429
-        self.jobs[job.id] = job
+        self.table.add(job)
         self._recent.append(job.id)
         return 202, job
 
@@ -470,6 +550,11 @@ class SimulationServer:
             raise _BadRequest("tenant must be a non-empty string (<= 64 chars)")
         try:
             options["priority"] = int(options["priority"])
+            if not MIN_PRIORITY <= options["priority"] <= MAX_PRIORITY:
+                raise ValueError(
+                    f"priority must be between {MIN_PRIORITY} and "
+                    f"{MAX_PRIORITY} (lower runs first; default 10)"
+                )
             if options["timeout_s"] is not None:
                 options["timeout_s"] = float(options["timeout_s"])
                 if options["timeout_s"] <= 0:
@@ -516,9 +601,7 @@ class SimulationServer:
         }
 
     def stats(self) -> dict:
-        states = {state: 0 for state in JobState.ALL}
-        for job in self.jobs.values():
-            states[job.state] += 1
+        states = self.table.state_counts()
         queue_stats = self.queue.stats()
         fleet_stats = self.fleet.stats()
         cache_stats = self.cache.stats()
@@ -527,9 +610,13 @@ class SimulationServer:
             "jobs": {
                 "submitted_total": self.submitted_total,
                 "cache_hits": self.cache_hit_jobs,
+                "events_dropped_total": int(
+                    self._events_dropped_counter.value
+                ),
                 **states,
             },
             "queue": queue_stats,
+            "retention": self.table.stats(),
             "cache": cache_stats,
             "workers": fleet_stats,
             "latency": {
@@ -550,7 +637,21 @@ class SimulationServer:
         return doc
 
     def _recent_doc(self, job_id: str) -> dict:
-        job = self.jobs[job_id]
+        # A tight retention budget can evict a run while it is still in
+        # the recent ring; the console row survives via its tombstone.
+        job, tombstone = self.table.lookup(job_id)
+        if job is None:
+            doc = tombstone or {"id": job_id, "state": "evicted"}
+            return {
+                "id": doc.get("id", job_id),
+                "tenant": doc.get("tenant"),
+                "state": doc.get("state"),
+                "priority": doc.get("priority"),
+                "cache_hit": doc.get("cache_hit"),
+                "scenario": doc.get("scenario"),
+                "policy": doc.get("policy"),
+                "evicted": True,
+            }
         return {
             "id": job.id,
             "tenant": job.tenant,
@@ -624,6 +725,18 @@ class SimulationServer:
                 return
             method, path, body = parsed
             await self._dispatch(writer, method, path, body)
+        except _BadRequest as exc:
+            try:
+                self._write_json(writer, 400, {"error": str(exc)})
+                await self._discard_input(reader)
+            except ConnectionError:
+                pass
+        except _PayloadTooLarge as exc:
+            try:
+                self._write_json(writer, 413, {"error": str(exc)})
+                await self._discard_input(reader)
+            except ConnectionError:
+                pass
         except ConnectionError:
             pass
         except Exception as exc:  # never kill the accept loop
@@ -639,8 +752,35 @@ class SimulationServer:
             writer.close()
 
     @staticmethod
+    async def _discard_input(reader, limit: int = 8 << 20) -> None:
+        """Best-effort drain of a rejected request's remaining bytes.
+
+        Closing with unread input still queued makes the kernel send an
+        RST, which can destroy the error response before the client
+        reads it.  Bounded by ``limit`` and a short timeout so a client
+        that never stops sending cannot pin the handler.
+        """
+        drained = 0
+        while drained < limit:
+            try:
+                chunk = await asyncio.wait_for(
+                    reader.read(65536), timeout=1.0
+                )
+            except (asyncio.TimeoutError, ConnectionError, ValueError):
+                return
+            if not chunk:
+                return
+            drained += len(chunk)
+
+    @staticmethod
     async def _read_request(reader) -> Optional[Tuple[str, str, bytes]]:
-        request_line = await reader.readline()
+        # StreamReader.readline raises ValueError past the stream's
+        # buffer limit; an attacker's kilometer-long header line is a
+        # malformed request (400), not a server bug (500).
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            raise _BadRequest("request line too long") from None
         if not request_line:
             return None
         parts = request_line.decode("latin-1").split()
@@ -649,7 +789,10 @@ class SimulationServer:
         method, target = parts[0].upper(), parts[1]
         content_length = 0
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise _BadRequest("header line too long") from None
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
@@ -657,13 +800,25 @@ class SimulationServer:
                 try:
                     content_length = int(value.strip())
                 except ValueError:
-                    content_length = 0
+                    raise _BadRequest(
+                        f"malformed Content-Length {value.strip()!r}"
+                    ) from None
+                if content_length < 0:
+                    raise _BadRequest("Content-Length must be >= 0")
         if content_length > _MAX_BODY_BYTES:
-            raise ValueError("request body too large")
-        body = (
-            await reader.readexactly(content_length)
-            if content_length else b""
-        )
+            raise _PayloadTooLarge(
+                f"request body of {content_length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit"
+            )
+        try:
+            body = (
+                await reader.readexactly(content_length)
+                if content_length else b""
+            )
+        except asyncio.IncompleteReadError:
+            raise _BadRequest(
+                "request body shorter than Content-Length"
+            ) from None
         path = target.split("?", 1)[0]
         return method, path, body
 
@@ -690,7 +845,13 @@ class SimulationServer:
             return
         if path.startswith("/v1/runs/"):
             rest = path[len("/v1/runs/"):]
-            if rest.endswith("/events") and method == "GET":
+            if rest.endswith("/events"):
+                if method != "GET":
+                    # The route exists; the method is wrong (was 404).
+                    self._write_json(
+                        writer, 405, {"error": "method not allowed"}
+                    )
+                    return
                 await self._handle_events(writer, rest[: -len("/events")])
                 return
             if "/" not in rest:
@@ -731,17 +892,39 @@ class SimulationServer:
         doc["cached"] = job.cache_hit
         self._write_json(writer, status, doc)
 
+    def _lookup_or_respond(self, writer, job_id: str) -> Optional[Job]:
+        """Resolve a job id, answering 410/404 for evicted/unknown runs.
+
+        An evicted run is *gone*, not unknown: the 410 body carries the
+        tombstone summary (final state, tenant, cache key, timestamps)
+        so a late poller still learns how its run ended.
+        """
+        job, tombstone = self.table.lookup(job_id)
+        if job is not None:
+            return job
+        if tombstone is not None:
+            doc = dict(tombstone)
+            # The job's own failure reason moves aside so "error" can
+            # carry the HTTP-level explanation, like every error body.
+            doc["job_error"] = doc.pop("error", None)
+            doc["error"] = (
+                f"run {job_id!r} finished and was evicted from the "
+                "retention window"
+            )
+            self._write_json(writer, 410, doc)
+            return None
+        self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
+        return None
+
     def _handle_get_job(self, writer, job_id: str) -> None:
-        job = self.jobs.get(job_id)
+        job = self._lookup_or_respond(writer, job_id)
         if job is None:
-            self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
             return
         self._write_json(writer, 200, job.snapshot())
 
     def _handle_cancel(self, writer, job_id: str) -> None:
-        job = self.jobs.get(job_id)
+        job = self._lookup_or_respond(writer, job_id)
         if job is None:
-            self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
             return
         if self.queue.cancel(job_id):
             self._tenant_acc(job.tenant)["cancelled"] += 1
@@ -753,9 +936,8 @@ class SimulationServer:
         })
 
     async def _handle_events(self, writer, job_id: str) -> None:
-        job = self.jobs.get(job_id)
+        job = self._lookup_or_respond(writer, job_id)
         if job is None:
-            self._write_json(writer, 404, {"error": f"unknown run {job_id!r}"})
             return
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -766,11 +948,29 @@ class SimulationServer:
         self._responses_counter.labels("200").inc()
         loop = asyncio.get_event_loop()
         last_write = loop.time()
-        index = 0
+        # Absolute position in the job's event history.  The retained
+        # window is [events_base, events_base + len(events)): whenever
+        # the cursor falls behind the base (the cap dropped history,
+        # possibly while we were parked on a drain), the follower gets
+        # an explicit `dropped_events` marker instead of a silent gap.
+        cursor = 0
         while True:
-            while index < len(job.events):
-                event = job.events[index]
-                index += 1
+            dropped = job.events_base - cursor
+            if dropped > 0:
+                cursor = job.events_base
+                frame = (
+                    "event: dropped_events\n"
+                    f"data: {json.dumps({'dropped': dropped, 'total_dropped': job.events_dropped})}\n\n"
+                )
+                writer.write(frame.encode("utf-8"))
+                await writer.drain()
+                last_write = loop.time()
+                continue
+            if cursor < job.events_base + len(job.events):
+                # One event per iteration: every drain is an await, and
+                # the cap may advance events_base underneath it.
+                event = job.events[cursor - job.events_base]
+                cursor += 1
                 frame = (
                     f"event: {event['event']}\n"
                     f"data: {json.dumps(event['data'])}\n\n"
@@ -780,6 +980,7 @@ class SimulationServer:
                 last_write = loop.time()
                 if event["event"] in _TERMINAL_EVENTS:
                     return
+                continue
             if job.terminal:
                 return  # terminal state with no more events to send
             await asyncio.sleep(_SSE_POLL_S)

@@ -25,13 +25,20 @@ import asyncio
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry, latency_summary
 from repro.serve.spec import RunRequest
 
 DEFAULT_PRIORITY = 10
 DEFAULT_TENANT = "default"
+
+# Submission priorities are bounded: an open-ended integer range would
+# let one absurd submission (priority=2**63) sort ahead of or behind
+# everything forever, and the per-class metric labels assume a sane
+# numeric neighborhood around DEFAULT_PRIORITY.
+MIN_PRIORITY = 0
+MAX_PRIORITY = 99
 
 
 def priority_class(priority: int) -> str:
@@ -70,6 +77,15 @@ class Job:
     The job table keeps these around after completion so pollers and
     SSE streams can read terminal states; ``events`` accumulates the
     stream every ``GET /v1/runs/<id>/events`` replays and follows.
+
+    ``events`` is bounded when ``max_events`` is set: the oldest events
+    are dropped first (the terminal event is always the newest, so it
+    survives), ``events_base`` records the absolute index of
+    ``events[0]`` so SSE followers can tell replay loss from a fresh
+    stream, and ``events_dropped`` counts the loss.  An unbounded event
+    list is the same slow leak as an unbounded job table — one
+    long-running job with progress sampling can accumulate tens of
+    thousands of rows.
     """
 
     id: str
@@ -95,6 +111,21 @@ class Job:
     finished_at: Optional[float] = None
     stored_at: Optional[float] = None
     events: List[dict] = field(default_factory=list)
+    # Event-list retention (None = unbounded, for direct constructions).
+    max_events: Optional[int] = None
+    events_base: int = 0
+    events_dropped: int = 0
+    # Optional hook the server wires to its metrics counter so every
+    # dropped event is visible on /metrics without the Job knowing
+    # about registries.
+    on_event_dropped: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    # Set once the server has folded this job into its terminal
+    # accumulators (tenant accounting, latency histograms, retention);
+    # guards the several paths a job can take to a terminal state from
+    # double-counting it.
+    finalized: bool = field(default=False, repr=False, compare=False)
 
     @property
     def terminal(self) -> bool:
@@ -124,8 +155,19 @@ class Job:
         }
 
     def add_event(self, kind: str, data: Optional[dict] = None) -> None:
-        """Append to the stream SSE followers replay and poll."""
+        """Append to the stream SSE followers replay and poll.
+
+        When ``max_events`` is set the oldest events fall off the front
+        of the list; followers detect the gap via ``events_base``.
+        """
         self.events.append({"event": kind, "data": data or {}})
+        if self.max_events is not None:
+            while len(self.events) > max(1, self.max_events):
+                self.events.pop(0)
+                self.events_base += 1
+                self.events_dropped += 1
+                if self.on_event_dropped is not None:
+                    self.on_event_dropped()
 
     def snapshot(self) -> dict:
         """The JSON document ``GET /v1/runs/<id>`` serves."""
@@ -148,6 +190,7 @@ class Job:
             "finished_at": self.finished_at,
             "stored_at": self.stored_at,
             "spans": self.spans(),
+            "events_dropped": self.events_dropped,
         }
 
 
@@ -174,6 +217,11 @@ class JobQueue:
         self.expired_total = 0
         self.cancelled_total = 0
         self._closed = False
+        # Fired for every job the queue expires (dequeue-time or via
+        # :meth:`expire`), so the server can fold the job into tenant
+        # and retention accounting — jobs expired inside the heap never
+        # surface from :meth:`pop` and would otherwise be invisible.
+        self.on_expired: Optional[Callable[[Job], None]] = None
         # Metrics: a private registry when none is shared keeps the
         # span accounting identical whether or not a scrape endpoint
         # exists (unit tests read stats() from the same histograms).
@@ -235,6 +283,31 @@ class JobQueue:
         })
         asyncio.ensure_future(_notify(self._not_empty))
 
+    def expire(self, job: Job, reason: Optional[str] = None) -> None:
+        """Expire a job through the one shared accounting path.
+
+        Every deadline expiry — at dequeue time or pre-dispatch in the
+        server's run loop — funnels here so ``expired_total`` and the
+        ``repro_serve_queue_expired_total`` Prometheus counter can
+        never diverge (they used to: the pre-dispatch path bumped only
+        the plain attribute).  Idempotent: a job that already expired
+        (or otherwise reached a terminal state) is left untouched.
+        """
+        if job.terminal:
+            return
+        now = self._now()
+        job.state = JobState.EXPIRED
+        job.finished_at = now
+        job.error = reason or (
+            f"queue deadline exceeded after "
+            f"{now - job.submitted_at:.3f}s waiting"
+        )
+        self.expired_total += 1
+        self._expired_counter.inc()
+        job.add_event("expired", {"error": job.error})
+        if self.on_expired is not None:
+            self.on_expired(job)
+
     def cancel(self, job_id: str) -> bool:
         """Cancel a *queued* job; returns False if it is not waiting."""
         job = self._queued.pop(job_id, None)
@@ -273,15 +346,7 @@ class JobQueue:
                 continue  # cancelled tombstone: never observed as latency
             del self._queued[job.id]
             if job.deadline_at is not None and now > job.deadline_at:
-                job.state = JobState.EXPIRED
-                job.finished_at = now
-                job.error = (
-                    f"queue deadline exceeded after "
-                    f"{now - job.submitted_at:.3f}s waiting"
-                )
-                self.expired_total += 1
-                self._expired_counter.inc()
-                job.add_event("expired", {"error": job.error})
+                self.expire(job)
                 continue
             # Only genuinely dispatched jobs contribute to the wait
             # histograms; tombstones and expiries would skew p99 with
@@ -299,13 +364,20 @@ class JobQueue:
         self._closed = True
         asyncio.ensure_future(_notify(self._not_empty))
 
-    def cancel_all(self) -> int:
-        """Cancel every waiting job (forced shutdown); returns count."""
-        count = 0
+    def cancel_all(self) -> List[Job]:
+        """Cancel every waiting job (forced shutdown).
+
+        Returns the cancelled jobs so the caller can fold them into the
+        same per-tenant/terminal accounting the DELETE handler applies —
+        a hard drain used to skip those accumulators entirely, leaving
+        tenant docs and queue totals disagreeing after shutdown.
+        """
+        cancelled: List[Job] = []
         for job_id in list(self._queued):
-            if self.cancel(job_id):
-                count += 1
-        return count
+            job = self._queued.get(job_id)
+            if job is not None and self.cancel(job_id):
+                cancelled.append(job)
+        return cancelled
 
     def stats(self) -> dict:
         return {

@@ -143,6 +143,14 @@ class WorkerFleet:
         self.failed_total = 0
         self.retries_total = 0
         self.crashes_total = 0
+        # Attempts whose job gave up (deadline fired, caller cancelled)
+        # while the pool process was still executing.  A pool worker
+        # cannot be interrupted mid-call, so the attempt stays counted
+        # busy until the process actually returns — releasing the slot
+        # at cancel time would over-admit the fleet.
+        self.abandoned = 0
+        self.abandoned_total = 0
+        self._abandoned_drains: dict = {}
         # Metrics (a private registry when none is shared, so exec
         # latency summaries work identically without a scrape endpoint).
         from repro.obs.metrics import MetricsRegistry
@@ -162,11 +170,20 @@ class WorkerFleet:
                 ("failed", "Jobs failed after exhausting retries"),
                 ("retries", "Attempts retried after a worker crash"),
                 ("crashes", "BrokenProcessPool events observed"),
+                ("abandoned", "Attempts abandoned by a deadline while "
+                              "still executing on a pool process"),
             )
         }
         registry.gauge(
             "repro_serve_workers_busy",
-            "Attempts currently executing on the pool", fn=lambda: self.busy,
+            "Attempts currently executing on the pool "
+            "(includes abandoned attempts still running)",
+            fn=lambda: self.busy,
+        )
+        registry.gauge(
+            "repro_serve_workers_abandoned",
+            "Abandoned attempts still executing on a pool process",
+            fn=lambda: self.abandoned,
         )
         registry.gauge(
             "repro_serve_workers_size",
@@ -243,6 +260,8 @@ class WorkerFleet:
             self._counters["started"].inc()
             self.busy += 1
             attempt_started = loop.time()
+            future = None
+            abandoned = False
             try:
                 future = pool.submit(
                     execute_request,
@@ -263,6 +282,14 @@ class WorkerFleet:
                     })
                     continue
             except asyncio.CancelledError:
+                # wrap_future already tried to cancel the pool future.
+                # If it was still pending the cancel stuck and the slot
+                # really is free; if the worker is mid-call it cannot
+                # be stopped, so the attempt stays accounted busy until
+                # the process returns (`abandoned_drain` resolves then).
+                if future is not None and not future.cancelled():
+                    abandoned = True
+                    self._abandon(job.id, future)
                 raise
             except Exception:
                 self.failed_total += 1
@@ -276,12 +303,46 @@ class WorkerFleet:
                 )
                 return outcome
             finally:
-                self.busy -= 1
+                if not abandoned:
+                    self.busy -= 1
         self.failed_total += 1
         self._counters["failed"].inc()
         raise WorkerCrashed(
             f"worker died {job.attempts} time(s) running {job.id}"
         ) from last_error
+
+    # ------------------------------------------------------------------
+    # Abandoned attempts: deadline fired, worker still executing
+    # ------------------------------------------------------------------
+    def _abandon(self, job_id: str, future) -> None:
+        self.abandoned += 1
+        self.abandoned_total += 1
+        self._counters["abandoned"].inc()
+        drain = self._loop.create_future()
+        self._abandoned_drains[job_id] = drain
+        # The pool future completes on an executor thread; hop back to
+        # the loop before touching fleet state or resolving the drain.
+        def _done(_f, job_id=job_id) -> None:
+            try:
+                self._loop.call_soon_threadsafe(self._abandoned_done, job_id)
+            except RuntimeError:
+                pass  # loop already closed during shutdown
+        future.add_done_callback(_done)
+
+    def _abandoned_done(self, job_id: str) -> None:
+        self.busy -= 1
+        self.abandoned -= 1
+        drain = self._abandoned_drains.pop(job_id, None)
+        if drain is not None and not drain.done():
+            drain.set_result(None)
+
+    def abandoned_drain(self, job_id: str):
+        """Awaitable resolved when the job's abandoned attempt returns.
+
+        ``None`` when the job has no attempt still executing — the
+        common case, where the caller may free the worker slot at once.
+        """
+        return self._abandoned_drains.get(job_id)
 
     # ------------------------------------------------------------------
     @property
@@ -300,6 +361,8 @@ class WorkerFleet:
             "failed_total": self.failed_total,
             "retries_total": self.retries_total,
             "crashes_total": self.crashes_total,
+            "abandoned": self.abandoned,
+            "abandoned_total": self.abandoned_total,
             "exec_s": latency_summary(self._exec_hist),
         }
 

@@ -244,3 +244,54 @@ def test_concurrent_label_creation_is_safe():
         thread.join()
     total = sum(child.value for _, child in family.items())
     assert total == 8 * 200
+
+
+# ----------------------------------------------------------------------
+# Exposition parsing (the consumer half of promtool-lite)
+# ----------------------------------------------------------------------
+def test_parse_samples_keys_on_name_plus_labels():
+    from repro.obs.metrics import parse_samples
+
+    text = (
+        "# HELP x_total things\n"
+        "# TYPE x_total counter\n"
+        "x_total 3\n"
+        'y_total{tier="memory"} 2\n'
+        'y_total{tier="disk"} 1.5\n'
+    )
+    samples = parse_samples(text)
+    assert samples["x_total"] == 3.0
+    assert samples['y_total{tier="memory"}'] == 2.0
+    assert samples['y_total{tier="disk"}'] == 1.5
+
+
+def test_parse_samples_rejects_garbage():
+    from repro.obs.metrics import parse_samples
+
+    with pytest.raises(ValueError, match="malformed sample"):
+        parse_samples("not a metric line at all!")
+
+
+def test_family_total_sums_children_without_prefix_bleed():
+    from repro.obs.metrics import family_total, parse_samples
+
+    text = (
+        'x_total{a="1"} 2\n'
+        'x_total{a="2"} 3\n'
+        "x_total_created 99\n"  # different family; must not count
+        "x_total 1\n"
+    )
+    samples = parse_samples(text)
+    assert family_total(samples, "x_total") == 6.0
+    assert family_total(samples, "missing_total") == 0.0
+
+
+def test_parse_samples_round_trips_a_real_registry():
+    from repro.obs.metrics import family_total, parse_samples
+
+    registry = MetricsRegistry()
+    counter = registry.counter("rt_total", "x", labelnames=("k",))
+    counter.labels("a").inc(2)
+    counter.labels("b").inc(3)
+    samples = parse_samples(registry.render())
+    assert family_total(samples, "rt_total") == 5.0

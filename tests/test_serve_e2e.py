@@ -309,3 +309,262 @@ def test_queue_backpressure_returns_429():
         for job in jobs:
             final = client.wait(job["id"], timeout_s=120.0)
             assert final["state"] == "done", final.get("error")
+
+
+# ----------------------------------------------------------------------
+# HTTP hardening: method/status correctness on malformed traffic
+# ----------------------------------------------------------------------
+def test_non_get_on_events_route_is_405(client):
+    import http.client as http_client
+
+    job = client.run(REQUEST, timeout_s=120.0)
+    for method in ("POST", "DELETE", "PUT"):
+        conn = http_client.HTTPConnection(client.host, client.port, timeout=10.0)
+        try:
+            conn.request(method, f"/v1/runs/{job['id']}/events")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 405, method
+        finally:
+            conn.close()
+
+
+def _raw_exchange(client, payload: bytes) -> bytes:
+    import socket
+
+    with socket.create_connection((client.host, client.port), timeout=10.0) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def test_malformed_content_length_is_400_not_500(client):
+    raw = _raw_exchange(
+        client,
+        b"POST /v1/runs HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    )
+    assert raw.startswith(b"HTTP/1.1 400 "), raw[:60]
+    assert b"Content-Length" in raw
+
+
+def test_negative_content_length_is_400(client):
+    raw = _raw_exchange(
+        client,
+        b"POST /v1/runs HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+    )
+    assert raw.startswith(b"HTTP/1.1 400 "), raw[:60]
+
+
+def test_over_long_header_line_is_400_not_500(client):
+    raw = _raw_exchange(
+        client,
+        b"GET /v1/healthz HTTP/1.1\r\nX-Junk: " + b"a" * 200_000 + b"\r\n\r\n",
+    )
+    assert raw.startswith(b"HTTP/1.1 400 "), raw[:60]
+
+
+def test_truncated_body_is_400(client):
+    raw = _raw_exchange(
+        client,
+        b"POST /v1/runs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{}",
+    )
+    assert raw.startswith(b"HTTP/1.1 400 "), raw[:60]
+
+
+def test_oversized_body_is_413(client):
+    raw = _raw_exchange(
+        client,
+        b"POST /v1/runs HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n",
+    )
+    assert raw.startswith(b"HTTP/1.1 413 "), raw[:60]
+
+
+def test_out_of_range_priority_is_400(client):
+    for bad in (-1, 100, 10**9):
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({**REQUEST}, priority=bad)
+        assert excinfo.value.status == 400
+        assert "priority" in str(excinfo.value)
+    # The bounds themselves are valid.
+    for ok in (0, 99):
+        job = client.submit({**REQUEST}, priority=ok)
+        assert job["priority"] == ok
+
+
+# ----------------------------------------------------------------------
+# Stats/metrics consistency (one accounting path)
+# ----------------------------------------------------------------------
+def test_stats_totals_exactly_match_metrics_counters(client):
+    import time
+
+    from repro.bench.soak import check_consistency
+
+    client.run(REQUEST, timeout_s=120.0)
+    client.run({**REQUEST, "seed": 61}, timeout_s=120.0)
+    # Quiesce so both scrapes read settled ledgers.
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        stats = client.stats()
+        if stats["queue"]["depth"] == 0 and stats["jobs"]["running"] == 0:
+            break
+        time.sleep(0.05)
+    failures = check_consistency(client.stats(), client.metrics_text())
+    assert failures == [], failures
+
+
+# ----------------------------------------------------------------------
+# Retention: tombstones, 410s, and the recent ring
+# ----------------------------------------------------------------------
+def test_evicted_job_answers_410_with_tombstone_summary():
+    config = ServeConfig(
+        port=0, workers=1,
+        job_budget_bytes=1,       # evict every terminal job immediately
+        job_min_retention_s=0.0,
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        # A 1-byte budget can evict the run before a poll ever sees the
+        # terminal snapshot, so completion is observed via the SSE
+        # stream (opened while the job is still live) instead of run().
+        job = client.submit({**REQUEST, "seconds": 20.0, "seed": 70})
+        kinds = [kind for kind, _ in client.events(job["id"], timeout_s=120.0)]
+        assert kinds[-1] == "done"
+
+        # GET: 410 Gone carrying the tombstone, never 404.
+        with pytest.raises(ServeError) as excinfo:
+            client.get(job["id"])
+        assert excinfo.value.status == 410
+        doc = excinfo.value.body
+        assert doc["id"] == job["id"]
+        assert doc["evicted"] is True
+        assert doc["state"] == "done"
+        assert doc["cache_key"] == job["cache_key"]
+        assert "evicted from the retention window" in doc["error"]
+
+        # DELETE and the SSE route see the same 410.
+        with pytest.raises(ServeError) as excinfo:
+            client.cancel(job["id"])
+        assert excinfo.value.status == 410
+        with pytest.raises(ServeError) as excinfo:
+            list(client.events(job["id"], timeout_s=10.0))
+        assert excinfo.value.status == 410
+
+        # A genuinely unknown id is still 404.
+        with pytest.raises(ServeError) as excinfo:
+            client.get("run-never-existed")
+        assert excinfo.value.status == 404
+
+        # The fleet console's recent ring tolerates evicted entries.
+        stats = client.stats()
+        assert stats["retention"]["evicted_total"] >= 1
+        recent = {doc["id"]: doc for doc in stats["recent"]}
+        assert recent[job["id"]]["evicted"] is True
+        assert recent[job["id"]]["state"] == "done"
+
+
+def test_job_table_budget_bounds_retained_bytes():
+    config = ServeConfig(
+        port=0, workers=1,
+        job_budget_bytes=16 * 1024,
+        job_min_retention_s=0.0,
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        client.run({**REQUEST, "seed": 71}, timeout_s=120.0)
+        for _ in range(40):  # cache hits: cheap terminal jobs
+            client.submit({**REQUEST, "seed": 71})
+        stats = client.stats()
+        retention = stats["retention"]
+        assert retention["budget_bytes"] == 16 * 1024
+        assert retention["terminal_bytes"] <= 16 * 1024
+        assert retention["evicted_total"] > 0
+        # Tombstone gauges flow into /metrics too.
+        from repro.obs.metrics import family_total, parse_samples
+        samples = parse_samples(client.metrics_text())
+        assert (
+            family_total(samples, "repro_serve_jobs_evicted_total")
+            == retention["evicted_total"]
+        )
+        assert (
+            samples["repro_serve_job_table_bytes"]
+            == retention["terminal_bytes"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Event-list cap + SSE dropped_events marker
+# ----------------------------------------------------------------------
+def test_sse_follower_sees_dropped_events_marker():
+    config = ServeConfig(port=0, workers=1, max_events_per_job=4)
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        # Dense progress sampling emits far more than 4 events.
+        job = client.submit(
+            {**REQUEST, "seed": 72}, progress_interval_ms=10.0
+        )
+        final = client.wait(job["id"], timeout_s=120.0)
+        assert final["state"] == "done"
+        assert final["events_dropped"] > 0
+
+        events = list(client.events(job["id"], timeout_s=30.0))
+        kinds = [kind for kind, _ in events]
+        assert kinds[0] == "dropped_events"
+        assert kinds[-1] == "done"
+        marker = events[0][1]
+        assert marker["dropped"] > 0
+        assert marker["total_dropped"] >= marker["dropped"]
+        # The replayed tail fits the cap: marker + at most 4 retained.
+        assert len(events) <= 5
+
+        stats = client.stats()
+        assert stats["jobs"]["events_dropped_total"] > 0
+
+
+# ----------------------------------------------------------------------
+# Worker-slot accounting across deadline timeouts
+# ----------------------------------------------------------------------
+def test_timed_out_job_cannot_oversubscribe_the_worker():
+    import time
+
+    config = ServeConfig(port=0, workers=1)
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.base_url)
+        # ~4s of wall clock, but a 0.5s deadline: the await is cancelled
+        # while the pool process keeps simulating.
+        doomed = client.submit({
+            "scenario": "S-A", "bg_case": "bg-null",
+            "seconds": 120.0, "seed": 80,
+        }, timeout_s=0.5)
+        follower = client.submit({
+            "scenario": "S-A", "bg_case": "bg-null",
+            "seconds": 2.0, "seed": 81,
+        })
+        final = client.wait(doomed["id"], timeout_s=30.0)
+        assert final["state"] in ("failed", "expired")
+        assert "deadline exceeded" in final["error"]
+
+        # While the abandoned attempt still occupies the pool, the slot
+        # stays held: the follower must not be running.
+        stats = client.stats()
+        if stats["workers"]["abandoned"] == 1:
+            assert stats["workers"]["busy"] == 1
+            assert client.get(follower["id"])["state"] == "queued"
+
+        # Once the attempt returns, the slot frees and the follower runs.
+        final = client.wait(follower["id"], timeout_s=120.0)
+        assert final["state"] == "done", final.get("error")
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            stats = client.stats()
+            if stats["workers"]["abandoned"] == 0:
+                break
+            time.sleep(0.1)
+        assert stats["workers"]["abandoned"] == 0
+        assert stats["workers"]["abandoned_total"] >= 1
+        assert stats["workers"]["busy"] == 0

@@ -121,7 +121,10 @@ def test_cancel_all_sweeps_the_queue():
         queue = JobQueue(maxsize=8)
         for i in range(3):
             queue.push(_job(f"j{i}"))
-        assert queue.cancel_all() == 3
+        swept = queue.cancel_all()
+        assert len(swept) == 3
+        assert all(job.state == JobState.CANCELLED for job in swept)
+        assert queue.cancelled_total == 3
         queue.close()
         assert await queue.pop() is None
 
@@ -258,5 +261,60 @@ def test_queue_metrics_flow_into_shared_registry():
         assert "repro_serve_queue_wait_seconds_bucket" in text
         assert "repro_serve_queue_depth 0" in text
         assert "repro_serve_queue_capacity 4" in text
+
+    _run(scenario())
+
+
+def test_expire_moves_stats_and_prometheus_counter_together():
+    """One accounting path: every expiry bumps both ledgers equally."""
+    from repro.obs.metrics import MetricsRegistry, family_total, parse_samples
+
+    fake_now = [0.0]
+
+    async def scenario():
+        registry = MetricsRegistry()
+        queue = JobQueue(maxsize=8, clock=lambda: fake_now[0],
+                         registry=registry)
+        # One dequeue-time expiry...
+        queue.push(_job("stale", deadline_at=5.0))
+        queue.push(_job("fresh"))
+        fake_now[0] = 50.0
+        assert (await queue.pop()).id == "fresh"
+        # ...and one explicit expire() (the pre-dispatch path).
+        late = _job("late", deadline_at=40.0)
+        queue.expire(late, reason="deadline exceeded before dispatch")
+        assert late.state == JobState.EXPIRED
+        assert "before dispatch" in late.error
+        samples = parse_samples(registry.render())
+        assert queue.stats()["expired_total"] == 2
+        assert family_total(samples, "repro_serve_queue_expired_total") == 2
+
+    _run(scenario())
+
+
+def test_expire_fires_on_expired_callback():
+    fake_now = [0.0]
+    seen = []
+
+    async def scenario():
+        queue = JobQueue(maxsize=8, clock=lambda: fake_now[0])
+        queue.on_expired = seen.append
+        queue.push(_job("stale", deadline_at=5.0))
+        queue.push(_job("fresh"))
+        fake_now[0] = 50.0
+        await queue.pop()
+        assert [job.id for job in seen] == ["stale"]
+        assert seen[0].state == JobState.EXPIRED
+
+    _run(scenario())
+
+
+def test_expire_is_idempotent():
+    async def scenario():
+        queue = JobQueue(maxsize=8)
+        job = _job("once", deadline_at=0.0)
+        queue.expire(job)
+        queue.expire(job)  # second arrival must not double-count
+        assert queue.stats()["expired_total"] == 1
 
     _run(scenario())

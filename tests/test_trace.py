@@ -245,3 +245,57 @@ def test_export_is_json_serializable_after_real_run():
     phases = {event["ph"] for event in parsed["traceEvents"]}
     # Scheduler slices, launch async pair, and metadata must all be there.
     assert {"M", "X", "b", "e"} <= phases
+
+
+# ----------------------------------------------------------------------
+# Byte-budgeted ring (capacity_bytes)
+# ----------------------------------------------------------------------
+def test_byte_budget_sheds_oldest_events():
+    tracer = Tracer(capacity_bytes=2000)
+    for i in range(200):
+        tracer.instant(f"ev-{i:03d}", args={"index": i})
+    assert tracer.buffer_bytes <= 2000
+    assert tracer.events_emitted == 200
+    assert tracer.dropped_events > 0
+    # The retained window is the newest suffix.
+    names = [event.name for event in tracer.events]
+    assert names == [f"ev-{200 - len(names) + i:03d}" for i in range(len(names))]
+
+
+def test_byte_ledger_matches_event_costs():
+    tracer = Tracer(capacity_bytes=100_000)
+    for i in range(50):
+        tracer.instant("ev", args={"i": i})
+    assert tracer.buffer_bytes == sum(e.cost for e in tracer.events)
+
+
+def test_count_and_byte_bounds_compose():
+    # Tiny count bound, generous byte bound: the deque's maxlen drops
+    # events, and the byte ledger must follow it down.
+    tracer = Tracer(capacity=4, capacity_bytes=1 << 20)
+    for i in range(20):
+        tracer.instant("ev", args={"i": i})
+    assert len(tracer.events) == 4
+    assert tracer.buffer_bytes == sum(e.cost for e in tracer.events)
+    assert tracer.dropped_events == 16
+
+
+def test_byte_budget_keeps_newest_even_when_oversized():
+    tracer = Tracer(capacity_bytes=64)
+    tracer.instant("huge", args={"blob": "x" * 500})
+    assert len(tracer.events) == 1  # never evict down to empty
+    assert tracer.buffer_bytes > 64
+
+
+def test_unbudgeted_tracer_charges_nothing():
+    tracer = Tracer()
+    tracer.instant("free", args={"i": 1})
+    assert tracer.buffer_bytes == 0
+    assert tracer.events[0].cost == 0
+
+
+def test_byte_budget_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        Tracer(capacity_bytes=-5)
