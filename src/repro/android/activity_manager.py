@@ -245,7 +245,7 @@ class ActivityManager:
 
         # Code/resource pages streamed from flash during start-up.
         code_pages = int(
-            len(main.page_table.pages_of("file_map")) * profile.cold_launch_read_frac
+            len(main.page_table.ids_of("file_map")) * profile.cold_launch_read_frac
         )
 
         def read_code() -> float:
@@ -259,8 +259,8 @@ class ActivityManager:
 
         def alloc(chunk_index: int) -> float:
             stall = 0.0
-            for process, pages in chunks[chunk_index]:
-                stall += system.allocate_pages(process, pages)
+            for process, ids in chunks[chunk_index]:
+                stall += system.allocate_ids(process, ids)
             return stall
 
         tracer = system.tracer
@@ -290,18 +290,21 @@ class ActivityManager:
         )
 
     def _resident_chunks(self, app: Application):
-        """Split each process's initial resident set into two chunks."""
+        """Split each process's initial resident set into two id chunks."""
+        from repro.kernel.slab import PAGE_SLAB, PRESENT
+
+        flags = PAGE_SLAB.flags
         chunk_a, chunk_b = [], []
         for process in app.processes:
-            pages = [
-                page
-                for page in process.page_table.all_pages()
-                if not page.present
+            ids = [
+                i
+                for i in process.page_table.all_page_ids()
+                if not flags[i] & PRESENT
             ]
             frac = app.profile.cold_resident_frac
             if frac is None:
                 frac = self.COLD_RESIDENT_FRAC
-            resident = pages[: int(len(pages) * frac)]
+            resident = ids[: int(len(ids) * frac)]
             half = len(resident) // 2
             chunk_a.append((process, resident[:half]))
             chunk_b.append((process, resident[half:]))
@@ -318,9 +321,9 @@ class ActivityManager:
         # (the frame engine's touches), not on the launch critical path.
         touch_count = min(
             int(main.page_table.total_pages * profile.hot_launch_touch_frac),
-            max(64, int(len(sampler.hot_pages) * 0.8)),
+            max(64, int(len(sampler.hot_ids) * 0.8)),
         )
-        pages = sampler.sample(touch_count, hot_bias=0.95)
+        pages = sampler.sample_ids(touch_count, hot_bias=0.95)
 
         from repro.apps.behavior import submit_touch
 

@@ -20,7 +20,13 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
 from repro.android.app import Application, AppState
-from repro.kernel.page import HeapKind, Page, PageKind
+from repro.kernel.slab import (
+    HEAP_NATIVE,
+    HOT,
+    KIND_ANON,
+    PAGE_SLAB,
+    REFERENCED,
+)
 from repro.sched.task import Task, WorkItem
 
 VSYNC_MS = 1000.0 / 60.0
@@ -97,7 +103,8 @@ class FrameEngine:
         self._burst_handle = None
         self._sampler = None
         self._content_credit: float = 0.0
-        self._transient: Deque[Page] = deque()
+        # Slab ids of transient frame-churn pages (oldest first).
+        self._transient: Deque[int] = deque()
         self._transient_cap: int = 0
         self._rng = None
         self._working_set: list = []
@@ -151,8 +158,12 @@ class FrameEngine:
         if self.task is not None:
             self.system.sched.remove_task(self.task)
             self.task = None
+        discard = self.system.mm.discard_page_id
+        free = PAGE_SLAB.free
         while self._transient:
-            self.system.mm.discard_page(self._transient.popleft())
+            i = self._transient.popleft()
+            discard(i)
+            free(i)
         self.app = None
         self._sampler = None
         self._working_set = []
@@ -203,14 +214,15 @@ class FrameEngine:
         )
 
     def _build_working_set(self, sampler) -> list:
-        """Hot nucleus plus a bounded random cold subset."""
-        cold = [page for page in sampler.all_pages if not page.hot]
-        target = int(len(sampler.all_pages) * self.WORKING_SET_FRAC)
-        extra = max(0, target - len(sampler.hot_pages))
+        """Hot nucleus plus a bounded random cold subset (slab ids)."""
+        flags = PAGE_SLAB.flags
+        cold = [i for i in sampler.all_ids if not flags[i] & HOT]
+        target = int(len(sampler.all_ids) * self.WORKING_SET_FRAC)
+        extra = max(0, target - len(sampler.hot_ids))
         if extra < len(cold):
             self._rng.shuffle(cold)
             cold = cold[:extra]
-        return list(sampler.hot_pages) + cold
+        return list(sampler.hot_ids) + cold
 
     def _frame_touch(self) -> float:
         """Touch working-set pages and churn transient allocations.
@@ -221,15 +233,15 @@ class FrameEngine:
         app = self.app
         profile = app.profile
         main = app.main_process
-        hot = self._sampler.hot_pages
+        hot = self._sampler.hot_ids
         ws = self._working_set
-        pages = []
+        ids = []
         for _ in range(profile.frame_touch_pages):
             if hot and self._rng.random() < 0.75:
-                pages.append(self._rng.choice(hot))
+                ids.append(self._rng.choice(hot))
             elif ws:
-                pages.append(self._rng.choice(ws))
-        blocked = self.system.touch_pages(main, pages)
+                ids.append(self._rng.choice(ws))
+        blocked = self.system.touch_ids(main, ids)
         blocked += self._churn_transient(profile.frame_alloc_pages)
         return blocked
 
@@ -238,23 +250,31 @@ class FrameEngine:
         if count <= 0:
             return 0.0
         main = self.app.main_process
+        slab = PAGE_SLAB
         # Old buffers are freed before their replacements are allocated
         # (codecs and render caches recycle), so a warmed-up pool is
-        # memory-neutral; only pool *growth* creates net demand.
-        while len(self._transient) > self._transient_cap - count:
-            self.system.mm.discard_page(self._transient.popleft())
-        fresh = [
-            Page(kind=PageKind.ANON, owner=main, heap=HeapKind.NATIVE)
-            for _ in range(count)
-        ]
-        stall = self.system.allocate_pages(main, fresh)
+        # memory-neutral; only pool *growth* creates net demand.  Retired
+        # ids go back to the slab free list — over a long session the
+        # churn recycles a bounded id pool instead of growing every
+        # column without limit.
+        transient = self._transient
+        discard = self.system.mm.discard_page_id
+        free = slab.free
+        while len(transient) > self._transient_cap - count:
+            i = transient.popleft()
+            discard(i)
+            free(i)
+        alloc = slab.alloc
+        fresh = [alloc(KIND_ANON, HEAP_NATIVE, 0, main) for _ in range(count)]
+        stall = self.system.allocate_ids(main, fresh)
         # Buffers are written the moment they are allocated — they are
         # live render state, not cold data, so the LRU must see them as
         # referenced (otherwise reclaim wastes compression cycles
         # evicting pages the app frees moments later).
-        for page in fresh:
-            page.referenced = True
-        self._transient.extend(fresh)
+        flags = slab.flags
+        for i in fresh:
+            flags[i] |= REFERENCED
+        transient.extend(fresh)
         return stall
 
     def _alloc_burst(self) -> None:

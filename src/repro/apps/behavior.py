@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.android.app import AppState, Process
 from repro.kernel.page import Page
+from repro.kernel.slab import HOT, PAGE_SLAB
 from repro.sched.task import Task, WorkItem
 
 # Share of burst touches aimed at the hot working-set nucleus; the cold
@@ -41,13 +42,20 @@ GC_BASE_CPU_MS = 4.0
 TOUCH_CHUNK_PAGES = 96
 
 
-def submit_touch(system, task, process, pages: List[Page], cpu_ms: float,
+def submit_touch(system, task, process, pages, cpu_ms: float,
                  label: str, on_complete=None) -> None:
-    """Submit a page-touch burst as chunked work items on ``task``."""
+    """Submit a page-touch burst as chunked work items on ``task``.
+
+    ``pages`` may be slab ids (the hot path) or ``Page`` views (older
+    callers and tests); views are converted once up front so the chunk
+    closures run through :meth:`MobileSystem.touch_ids`.
+    """
     if not pages:
         if cpu_ms > 0 or on_complete is not None:
             task.submit(WorkItem(cpu_ms=cpu_ms, on_complete=on_complete, label=label))
         return
+    if not isinstance(pages[0], int):
+        pages = [page.page_id for page in pages]
     chunks = [
         pages[i : i + TOUCH_CHUNK_PAGES]
         for i in range(0, len(pages), TOUCH_CHUNK_PAGES)
@@ -58,7 +66,7 @@ def submit_touch(system, task, process, pages: List[Page], cpu_ms: float,
         task.submit(
             WorkItem(
                 cpu_ms=cpu_share,
-                touch=lambda c=chunk: system.touch_pages(process, c),
+                touch=lambda c=chunk: system.touch_ids(process, c),
                 on_complete=on_complete if last else None,
                 label=label,
             )
@@ -82,79 +90,121 @@ class PageSampler:
     GARBAGE_SLICE = (0.38, 0.55)
 
     @classmethod
-    def _live(cls, pages: List[Page]) -> List[Page]:
-        lo = int(len(pages) * cls.GARBAGE_SLICE[0])
-        hi = int(len(pages) * cls.GARBAGE_SLICE[1])
-        return pages[:lo] + pages[hi:]
+    def _live(cls, items: list) -> list:
+        lo = int(len(items) * cls.GARBAGE_SLICE[0])
+        hi = int(len(items) * cls.GARBAGE_SLICE[1])
+        return items[:lo] + items[hi:]
 
     def __init__(self, process: Process, rng):
         self.rng = rng
-        self.java: List[Page] = self._live(process.page_table.pages_of("java_heap"))
-        self.native: List[Page] = self._live(process.page_table.pages_of("native_heap"))
-        self.file: List[Page] = self._live(process.page_table.pages_of("file_map"))
-        self.all_pages: List[Page] = self.java + self.native + self.file
-        self.hot_pages: List[Page] = [p for p in self.all_pages if p.hot]
+        # Primary state is slab ids; the object-returning accessors
+        # below materialise views for callers (and tests) that want
+        # ``Page`` semantics.
+        table = process.page_table
+        flags = PAGE_SLAB.flags
+        self.java_ids: List[int] = self._live(table.ids_of("java_heap"))
+        self.native_ids: List[int] = self._live(table.ids_of("native_heap"))
+        self.file_ids: List[int] = self._live(table.ids_of("file_map"))
+        self.all_ids: List[int] = self.java_ids + self.native_ids + self.file_ids
+        self.hot_ids: List[int] = [i for i in self.all_ids if flags[i] & HOT]
         self._segments = {
-            "java": self.java,
-            "native": self.native,
-            "file": self.file,
+            "java": self.java_ids,
+            "native": self.native_ids,
+            "file": self.file_ids,
         }
         self._hot_segments = {
-            name: [p for p in pages if p.hot]
-            for name, pages in self._segments.items()
+            name: [i for i in ids if flags[i] & HOT]
+            for name, ids in self._segments.items()
         }
 
+    # --- object API (views; not used on hot paths) ---------------------
+    @staticmethod
+    def _views(ids: List[int]) -> List[Page]:
+        view = PAGE_SLAB.view
+        return [view(i) for i in ids]
+
+    @property
+    def java(self) -> List[Page]:
+        return self._views(self.java_ids)
+
+    @property
+    def native(self) -> List[Page]:
+        return self._views(self.native_ids)
+
+    @property
+    def file(self) -> List[Page]:
+        return self._views(self.file_ids)
+
+    @property
+    def all_pages(self) -> List[Page]:
+        return self._views(self.all_ids)
+
+    @property
+    def hot_pages(self) -> List[Page]:
+        return self._views(self.hot_ids)
+
     def sample(self, count: int, hot_bias: float = HOT_TOUCH_BIAS) -> List[Page]:
-        """Sample ``count`` pages, ``hot_bias`` of them from the hot set."""
-        if not self.all_pages:
+        return self._views(self.sample_ids(count, hot_bias))
+
+    def sample_burst(self, count: int, hot_bias: float = HOT_TOUCH_BIAS) -> List[Page]:
+        return self._views(self.sample_burst_ids(count, hot_bias))
+
+    def sample_gc(self, frac: float) -> List[Page]:
+        return self._views(self.sample_gc_ids(frac))
+
+    # --- id API (the hot path) -----------------------------------------
+    def sample_ids(self, count: int, hot_bias: float = HOT_TOUCH_BIAS) -> List[int]:
+        """Sample ``count`` page ids, ``hot_bias`` of them hot."""
+        if not self.all_ids:
             return []
-        picks: List[Page] = []
+        picks: List[int] = []
         rnd = self.rng.random
         randbelow = self.rng.randbelow
         append = picks.append
-        hot_pages = self.hot_pages
-        all_pages = self.all_pages
-        n_hot = len(hot_pages)
-        n_all = len(all_pages)
+        hot_ids = self.hot_ids
+        all_ids = self.all_ids
+        n_hot = len(hot_ids)
+        n_all = len(all_ids)
         for _ in range(count):
             if n_hot and rnd() < hot_bias:
-                append(hot_pages[randbelow(n_hot)])
+                append(hot_ids[randbelow(n_hot)])
             else:
-                append(all_pages[randbelow(n_all)])
+                append(all_ids[randbelow(n_all)])
         return picks
 
-    def sample_burst(self, count: int, hot_bias: float = HOT_TOUCH_BIAS) -> List[Page]:
+    def sample_burst_ids(self, count: int, hot_bias: float = HOT_TOUCH_BIAS) -> List[int]:
         """Sample a BG burst with the file/native/java segment mix."""
-        picks: List[Page] = []
+        picks: List[int] = []
         rnd = self.rng.random
         randbelow = self.rng.randbelow
         append = picks.append
         for name, weight in self.BURST_MIX:
-            pages = self._segments[name]
-            if not pages:
+            ids = self._segments[name]
+            if not ids:
                 continue
             hot = self._hot_segments[name]
             n_hot = len(hot)
-            n_pages = len(pages)
+            n_ids = len(ids)
             for _ in range(int(count * weight)):
                 if n_hot and rnd() < hot_bias:
                     append(hot[randbelow(n_hot)])
                 else:
-                    append(pages[randbelow(n_pages)])
+                    append(ids[randbelow(n_ids)])
         return picks
 
-    def sample_segment(self, pages: List[Page], count: int) -> List[Page]:
-        if not pages:
+    def sample_segment(self, items: list, count: int) -> list:
+        """A contiguous slice; generic over id lists and view lists."""
+        if not items:
             return []
-        if count >= len(pages):
-            return list(pages)
-        start = self.rng.randint(0, len(pages) - count)
-        return pages[start : start + count]
+        if count >= len(items):
+            return list(items)
+        start = self.rng.randint(0, len(items) - count)
+        return items[start : start + count]
 
-    def sample_gc(self, frac: float) -> List[Page]:
+    def sample_gc_ids(self, frac: float) -> List[int]:
         """A GC cycle walks a contiguous fraction of the Java heap."""
-        count = int(len(self.java) * frac)
-        return self.sample_segment(self.java, count)
+        count = int(len(self.java_ids) * frac)
+        return self.sample_segment(self.java_ids, count)
 
 
 class BackgroundBehavior:
@@ -184,7 +234,7 @@ class BackgroundBehavior:
             self._schedule_burst(first=True)
         if (
             self.gc_task is not None
-            and self.sampler.java
+            and self.sampler.java_ids
             and profile.gc_touch_frac > 0
             and profile.bg_active
         ):
@@ -227,7 +277,7 @@ class BackgroundBehavior:
             return
         if self._can_act() and not self.task.queue:
             profile = self.profile
-            pages = self.sampler.sample_burst(profile.bg_touch_pages)
+            pages = self.sampler.sample_burst_ids(profile.bg_touch_pages)
             cpu = max(
                 0.5,
                 self.rng.lognormvariate(0.0, 0.5) * profile.bg_burst_cpu_ms,
@@ -255,7 +305,7 @@ class BackgroundBehavior:
             and not self.system.idle_gc_disabled
             and not self.gc_task.queue
         ):
-            pages = self.sampler.sample_gc(self.profile.gc_touch_frac)
+            pages = self.sampler.sample_gc_ids(self.profile.gc_touch_frac)
             cpu = (GC_BASE_CPU_MS + len(pages) * GC_CPU_PER_PAGE_MS)
             cpu /= self.system.spec.cpu_speed
             submit_touch(self.system, self.gc_task, self.process, pages, cpu, "idle-gc")
@@ -282,8 +332,8 @@ class BackgroundBehavior:
             profile = self.profile
             # Services touch native + file pages (no java heap walk).
             count = profile.service_touch_pages
-            native = self.sampler.sample_segment(self.sampler.native, count // 2)
-            files = self.sampler.sample_segment(self.sampler.file, count - count // 2)
+            native = self.sampler.sample_segment(self.sampler.native_ids, count // 2)
+            files = self.sampler.sample_segment(self.sampler.file_ids, count - count // 2)
             pages = native + files
             cpu = profile.service_cpu_ms / self.system.spec.cpu_speed
             submit_touch(self.system, self.task, self.process, pages, cpu, "service")
@@ -300,7 +350,7 @@ class BackgroundBehavior:
         if self._dead:
             return
         if self._can_act():
-            pages = self.sampler.sample(30, hot_bias=0.5)
+            pages = self.sampler.sample_ids(30, hot_bias=0.5)
             submit_touch(
                 self.system, self.task, self.process, pages,
                 2.0 / self.system.spec.cpu_speed, "stay-awake",

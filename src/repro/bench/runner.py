@@ -37,7 +37,9 @@ from repro.metrics.stats import percentile
 
 # v2: parallel-mode worker stats, unrounded wall totals, optional
 # per-cell profile tables, "jobs" knob recorded at top level.
-BENCH_SCHEMA_VERSION = 2
+# v3: optional "micro" section (--micro): slab hot-path microbenchmarks
+# (intrusive-LRU ops/s, fused fault-loop iterations/s).
+BENCH_SCHEMA_VERSION = 3
 
 DEFAULT_SCENARIOS = ("S-A", "S-B", "S-C", "S-D")
 DEFAULT_POLICIES = ("LRU+CFS", "Ice")
@@ -70,6 +72,7 @@ class BenchConfig:
     jobs: int = 1
     profile: bool = False
     profile_top: int = 15
+    micro: bool = False
 
     @classmethod
     def smoke_config(cls) -> "BenchConfig":
@@ -267,6 +270,12 @@ def run_bench(config: BenchConfig, progress=None) -> Dict[str, object]:
     }
     if profiles:
         doc["profiles"] = profiles
+    if config.micro:
+        # After the matrix so cell measurements come first; each micro
+        # (like each cell) resets the global slab state on entry.
+        from repro.bench.micro import run_micro
+
+        doc["micro"] = run_micro()
     return doc
 
 
@@ -303,6 +312,10 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
                              "(forces serial execution)")
     parser.add_argument("--profile-top", type=int, default=15, metavar="N",
                         help="rows per cell in the --profile table")
+    parser.add_argument("--micro", action="store_true",
+                        help="also run the slab hot-path microbenchmarks "
+                             "(LRU ops/s, fused fault-loop iterations/s) "
+                             "and embed them in the artifact")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help=f"artifact path (default: {'BENCH_<date>.json'})")
     soak = parser.add_argument_group(
@@ -332,6 +345,7 @@ def config_from_args(args: argparse.Namespace) -> BenchConfig:
     jobs = max(1, int(getattr(args, "jobs", 1) or 1))
     profile = bool(getattr(args, "profile", False))
     profile_top = int(getattr(args, "profile_top", 15))
+    micro = bool(getattr(args, "micro", False))
     if args.smoke:
         base = BenchConfig.smoke_config()
         return BenchConfig(
@@ -344,6 +358,7 @@ def config_from_args(args: argparse.Namespace) -> BenchConfig:
             jobs=jobs,
             profile=profile,
             profile_top=profile_top,
+            micro=micro,
         )
     return BenchConfig(
         scenarios=tuple(s.strip() for s in args.scenarios.split(",") if s.strip()),
@@ -354,6 +369,7 @@ def config_from_args(args: argparse.Namespace) -> BenchConfig:
         jobs=jobs,
         profile=profile,
         profile_top=profile_top,
+        micro=micro,
     )
 
 

@@ -14,18 +14,24 @@ reclaiming context) and dirty file pages to flash write-back (device
 occupancy charged to the block queue); clean file pages are dropped.
 Every eviction installs a shadow entry so the next touch registers as a
 refault.
+
+Hot paths (bulk allocation, the reclaim loop, eviction) run on raw slab
+ids — flag-column bit ops instead of view-object attribute access.  The
+object-level API (``make_resident(page)``, ``release(page)``, ...) is a
+thin delegation layer kept for tests, experiments, and policy code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
 
 from repro.devices.specs import DeviceSpec
 from repro.kernel.lru import LruKind, LruLists
 from repro.kernel.page import Page
+from repro.kernel.slab import DIRTY, KIND_FILE, PAGE_SLAB, PRESENT, REFERENCED
 from repro.kernel.vmstat import VmStat
-from repro.kernel.workingset import WorkingSet
+from repro.kernel.workingset import SHADOW_ENTRY_BYTES, WorkingSet
 from repro.storage.flash import FlashDevice
 from repro.storage.zram import ZramDevice, ZramFullError
 from repro.trace.tracer import DIRECT_RECLAIM_TID, KERNEL_PID
@@ -38,7 +44,7 @@ class OutOfMemoryError(RuntimeError):
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class ReclaimResult:
     """Outcome of one reclaim pass."""
 
@@ -56,7 +62,7 @@ class ReclaimResult:
         self.zram_full = self.zram_full or other.zram_full
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocationOutcome:
     """Cost of making pages resident (charged to the allocating task)."""
 
@@ -103,9 +109,13 @@ class MemoryManager:
         self.zram = zram
         self.flash = flash
         self.clock = clock
+        # Optional direct simulator reference (set by the system layer):
+        # hot paths read ``sim.now`` as an attribute instead of paying a
+        # Python frame for the ``clock`` lambda on every fault/eviction.
+        self.sim = None
         self.lru = LruLists()
-        self.workingset = WorkingSet()
         self.vmstat = VmStat()
+        self.workingset = WorkingSet(vmstat=self.vmstat)
         # Spec-derived constants, cached once: DeviceSpec is frozen and
         # these sit on the watermark-check hot path.
         self._managed_pages = spec.managed_pages
@@ -122,7 +132,8 @@ class MemoryManager:
         zram.on_change = self._on_zram_change
         self._on_zram_change(zram.stored_pages)
         # Policy hooks (set by the active management policy):
-        # protect-from-reclaim predicate (Acclaim's FAE) ...
+        # protect-from-reclaim predicate (Acclaim's FAE).  ``None`` keeps
+        # the reclaim scan free of per-page view construction.
         self.reclaim_protect: Optional[Callable[[Page], bool]] = None
         # ... and the kswapd wakeup callback (wired by the system layer).
         self.kswapd_waker: Optional[Callable[[], None]] = None
@@ -193,42 +204,76 @@ class MemoryManager:
     # ------------------------------------------------------------------
     def make_resident(self, page: Page, active: bool = False) -> AllocationOutcome:
         """Bring one page into memory; may trigger direct reclaim."""
+        return self.make_resident_id(page.page_id, active=active)
+
+    def make_resident_id(self, i: int, active: bool = False) -> AllocationOutcome:
         outcome = AllocationOutcome()
-        if page.present:
+        flags = PAGE_SLAB.flags
+        if flags[i] & PRESENT:
             return outcome
         if self._free_pages <= self._wm_min:
             self._ensure_headroom(outcome)
-        page.present = True
         # The young bit is set by actual CPU accesses, not by allocation:
         # a freshly-allocated page that is never touched again must look
         # cold to the LRU scan.
-        page.referenced = False
+        flags[i] = (flags[i] | PRESENT) & ~REFERENCED & 0xFF
         self._resident_pages += 1
         self._free_pages -= 1
         self.vmstat.pgalloc += 1
-        self.lru.add(page, active=active)
+        self.lru.add_id(i, active)
         outcome.pages = 1
         self._charge_contention(outcome, 1)
         self._check_watermarks()
         return outcome
 
-    def make_resident_bulk(self, pages: List[Page], active: bool = False) -> AllocationOutcome:
+    def make_resident_bulk(
+        self, pages: List[Page], active: bool = False
+    ) -> AllocationOutcome:
         """Fault-in / allocate a batch of pages."""
+        return self.make_resident_bulk_ids(
+            [page.page_id for page in pages], active=active
+        )
+
+    def make_resident_bulk_ids(
+        self, ids: Iterable[int], active: bool = False
+    ) -> AllocationOutcome:
+        """Id-level bulk allocation — the footprint/launch hot path.
+
+        The free/resident counters and the pgalloc vmstat run in locals
+        and are written back in one shot; reclaim (which reads and
+        mutates the real counters) forces a sync around each
+        ``_ensure_headroom`` call, so the observable counter values at
+        every reclaim entry and at return are identical to the
+        per-page-update version.
+        """
         outcome = AllocationOutcome()
-        lru_add = self.lru.add
-        for page in pages:
-            if page.present:
+        flags = PAGE_SLAB.flags
+        lru_add = self.lru.add_id
+        wm_min = self._wm_min
+        free = self._free_pages
+        resident = self._resident_pages
+        pages = 0
+        for i in ids:
+            f = flags[i]
+            if f & PRESENT:
                 continue
-            if self._free_pages <= self._wm_min:
+            if free <= wm_min:
+                self._free_pages = free
+                self._resident_pages = resident
                 self._ensure_headroom(outcome)
-            page.present = True
-            page.referenced = False
-            self._resident_pages += 1
-            self._free_pages -= 1
-            self.vmstat.pgalloc += 1
-            lru_add(page, active=active)
-            outcome.pages += 1
-        self._charge_contention(outcome, outcome.pages)
+                free = self._free_pages
+                resident = self._resident_pages
+                f = flags[i]
+            flags[i] = (f | PRESENT) & ~REFERENCED & 0xFF
+            resident += 1
+            free -= 1
+            pages += 1
+            lru_add(i, active)
+        self._free_pages = free
+        self._resident_pages = resident
+        self.vmstat.pgalloc += pages
+        outcome.pages = pages
+        self._charge_contention(outcome, pages)
         self._check_watermarks()
         return outcome
 
@@ -249,10 +294,14 @@ class MemoryManager:
 
     def release(self, page: Page) -> None:
         """A resident page leaves memory without eviction (free/unmap)."""
-        if not page.present:
+        self.release_id(page.page_id)
+
+    def release_id(self, i: int) -> None:
+        flags = PAGE_SLAB.flags
+        if not flags[i] & PRESENT:
             return
-        page.present = False
-        self.lru.discard(page)
+        flags[i] &= ~PRESENT & 0xFF
+        self.lru.discard_id(i)
         self._resident_pages -= 1
         self._free_pages += 1
         self.vmstat.pgfree += 1
@@ -260,21 +309,30 @@ class MemoryManager:
     def discard_page(self, page: Page) -> None:
         """Drop one page entirely: free it if resident, otherwise clear
         its swap slot / shadow entry (transient-allocation teardown)."""
-        if page.present:
-            self.release(page)
-        else:
-            if page.is_anon and page.was_evicted:
-                self.zram.discard(page.page_id)
-            self.workingset.drop_shadow(page)
+        self.discard_page_id(page.page_id)
 
-    def release_process_pages(self, pages: List[Page]) -> int:
+    def discard_page_id(self, i: int) -> None:
+        slab = PAGE_SLAB
+        if slab.flags[i] & PRESENT:
+            self.release_id(i)
+        elif slab.shadow[i]:
+            if slab.kind[i] != KIND_FILE:
+                self.zram.discard(i)
+            self.workingset.drop_shadow_id(i)
+
+    def release_process_pages(self, pages: Iterable[Page]) -> int:
         """Tear down a dead process: free resident pages, drop zram slots
         and shadow entries.  Returns the number of resident pages freed."""
+        return self.release_process_ids([page.page_id for page in pages])
+
+    def release_process_ids(self, ids: Iterable[int]) -> int:
+        flags = PAGE_SLAB.flags
         freed = 0
-        for page in pages:
-            if page.present:
+        discard = self.discard_page_id
+        for i in ids:
+            if flags[i] & PRESENT:
                 freed += 1
-            self.discard_page(page)
+            discard(i)
         return freed
 
     def _ensure_headroom(self, outcome: AllocationOutcome) -> None:
@@ -355,17 +413,18 @@ class MemoryManager:
 
     def _shrink_round(self, target: int, result: ReclaimResult) -> int:
         # Refill inactive lists by aging active ones when needed.
+        lru = self.lru
         for inactive, active in (
             (LruKind.INACTIVE_ANON, LruKind.ACTIVE_ANON),
             (LruKind.INACTIVE_FILE, LruKind.ACTIVE_FILE),
         ):
-            if self.lru.needs_aging(inactive):
-                aged = self.lru.age_active(active, budget=target * 2)
+            if lru.needs_aging(inactive):
+                aged = lru.age_active(active, budget=target * 2)
                 result.scanned += aged
                 result.cpu_ms += aged * SCAN_COST_MS
 
-        anon_avail = self.lru.inactive_anon
-        file_avail = self.lru.inactive_file
+        anon_avail = lru.inactive_anon
+        file_avail = lru.inactive_file
         total_avail = anon_avail + file_avail
         if total_avail == 0:
             return 0
@@ -384,62 +443,127 @@ class MemoryManager:
     def _evict_from(self, kind: LruKind, count: int, result: ReclaimResult) -> int:
         if count <= 0:
             return 0
-        victims, scanned = self.lru.scan_inactive(
+        lru = self.lru
+        victims, scanned = lru.scan_inactive_ids(
             kind, budget=count * 2, protect=self.reclaim_protect
         )
         # scan_inactive removes victims from the list; only `count` of
         # them are evicted this round, the rest rotate back (still cold).
         if len(victims) > count:
             for extra in victims[count:]:
-                self.lru.add(extra, active=False)
+                lru.add_id(extra, False)
             del victims[count:]
         # Charge the pages actually scanned — an exhausted list scans
         # fewer than the 2x budget.
         result.scanned += scanned
         result.cpu_ms += scanned * SCAN_COST_MS
+        if not victims:
+            return 0
+        # Per-victim eviction with the whole chain inlined
+        # (_evict_page_id, zram.store + its on_change observer, and
+        # workingset.record_eviction_id): the reclaim loop is the
+        # second-hottest path after the fault loop, and each of those
+        # frames fired once per evicted page.  Counter/float-op order
+        # matches the unfused chain exactly.
+        slab = PAGE_SLAB
+        kind_col = slab.kind
+        flags = slab.flags
+        shadow = slab.shadow
+        evictions_col = slab.evictions
+        vmstat = self.vmstat
+        ws = self.workingset
+        budget = ws.shadow_budget_bytes
+        zram = self.zram
+        zram_slots = zram._slots
+        zram_capacity = zram.capacity_pages
+        ratio = zram.compression_ratio
+        anon_cost = EVICT_COST_MS + zram.compress_ms
+        sim = self.sim
+        now = sim.now if sim is not None else self.clock()
+        cpu_ms = result.cpu_ms
         evicted = 0
-        now = self.clock()
         dirty_batch = 0
-        evict_page = self._evict_page
-        for index, page in enumerate(victims):
-            was_dirty = page.is_file and page.dirty
-            try:
-                cost = evict_page(page, now)
-            except ZramFullError:
-                # Put this and the remaining victims back; anon reclaim
-                # is over for this round.
-                for leftover in victims[index:]:
-                    self.lru.add(leftover, active=True)
-                result.zram_full = True
-                break
-            result.cpu_ms += cost
-            if was_dirty:
-                dirty_batch += 1
+        for index, i in enumerate(victims):
+            if kind_col[i] == KIND_FILE:
+                f = flags[i]
+                vmstat.pgsteal_file += 1
+                if f & DIRTY:
+                    vmstat.pgsteal_file_dirty += 1
+                    dirty_batch += 1
+                # Dirty pages are queued for write-back below, so the
+                # page is clean afterwards.
+                flags[i] = f & ~(PRESENT | REFERENCED | DIRTY) & 0xFF
+                cpu_ms += EVICT_COST_MS
+            else:
+                # Inline zram.store, with the full-device case handled
+                # as a branch instead of a raise/catch pair.
+                if len(zram_slots) >= zram_capacity:
+                    zram.failed_stores += 1
+                    # Put this and the remaining victims back; anon
+                    # reclaim is over for this round.
+                    for leftover in victims[index:]:
+                        lru.add_id(leftover, True)
+                    result.zram_full = True
+                    break
+                if i in zram_slots:
+                    raise ValueError(f"zram slot {i} already occupied")
+                zram_slots.add(i)
+                zram.stores += 1
+                # Inline the on_change observer (_on_zram_change).
+                charge = int(len(zram_slots) / ratio)
+                if charge != self._pool_charge:
+                    self._free_pages += self._pool_charge - charge
+                    self._pool_charge = charge
+                vmstat.pswpout += 1
+                vmstat.pgsteal_anon += 1
+                flags[i] &= ~(PRESENT | REFERENCED) & 0xFF
+                cpu_ms += anon_cost
+            self._resident_pages -= 1
+            self._free_pages += 1
+            # Inline workingset.record_eviction_id.
+            clock = ws.eviction_clock + 1
+            ws.eviction_clock = clock
+            if not shadow[i]:
+                ws.shadow_entries += 1
+            shadow[i] = clock
+            evictions_col[i] += 1
+            if budget is not None and ws.shadow_entries * SHADOW_ENTRY_BYTES > budget:
+                ws._shed_oldest()
             evicted += 1
+        result.cpu_ms = cpu_ms
         if dirty_batch:
             # Write-back is asynchronous: it occupies the flash queue but
             # the reclaiming context does not wait for completion.
             self.flash.write(now, dirty_batch)
-            self.vmstat.fileback_writeout += dirty_batch
+            vmstat.fileback_writeout += dirty_batch
         result.reclaimed += evicted
         return evicted
 
     def _evict_page(self, page: Page, now: float) -> float:
         """Evict one page already removed from the LRU.  Returns CPU ms."""
+        return self._evict_page_id(page.page_id, now)
+
+    def _evict_page_id(self, i: int, now: float) -> float:
         cost = EVICT_COST_MS
-        if page.is_anon:
-            cost += self.zram.store(page.page_id)  # may raise ZramFullError
-            self.vmstat.pswpout += 1
-            self.vmstat.pgsteal_anon += 1
+        slab = PAGE_SLAB
+        vmstat = self.vmstat
+        is_file = slab.kind[i] == KIND_FILE
+        if not is_file:
+            cost += self.zram.store(i)  # may raise ZramFullError
+            vmstat.pswpout += 1
+            vmstat.pgsteal_anon += 1
         else:
-            self.vmstat.pgsteal_file += 1
-            if page.dirty:
-                self.vmstat.pgsteal_file_dirty += 1
-        page.present = False
-        page.referenced = False
+            vmstat.pgsteal_file += 1
+            if slab.flags[i] & DIRTY:
+                vmstat.pgsteal_file_dirty += 1
+        flags = slab.flags
+        if is_file:
+            # present/referenced cleared; dirty pages were queued for
+            # write-back by the caller, so the page is clean afterwards.
+            flags[i] &= ~(PRESENT | REFERENCED | DIRTY) & 0xFF
+        else:
+            flags[i] &= ~(PRESENT | REFERENCED) & 0xFF
         self._resident_pages -= 1
         self._free_pages += 1
-        self.workingset.record_eviction(page)
-        if page.is_file:
-            page.dirty = False
+        self.workingset.record_eviction_id(i)
         return cost

@@ -12,19 +12,44 @@ A fault on a non-present page either:
 Either way the page must be made resident, which can itself trigger
 direct reclaim — the amplification loop behind refault-induced memory
 thrashing.
+
+``handle_id`` is the **fused** fault→reclaim→refault loop body: it
+resolves a fault on a raw slab id without constructing a
+:class:`FaultOutcome`, a :class:`RefaultEvent` (unless observers are
+subscribed), or an ``AllocationOutcome`` (unless direct reclaim
+actually runs) — the allocation, contention-charge, watermark-check,
+and young-bit updates are inlined as flag-column bit ops.  The order of
+every vmstat increment, PSI record, float addition, and LRU operation
+matches the object-level ``handle`` exactly, which is what keeps paper
+metrics bit-identical.  ``handle`` remains as the object-API wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.kernel.mm import MemoryManager, OutOfMemoryError
+from repro.kernel.mm import (
+    ALLOC_CONTENTION_CAP_MS,
+    ALLOC_CONTENTION_HIGH_MS,
+    ALLOC_CONTENTION_LOW_MS,
+    AllocationOutcome,
+    MemoryManager,
+    OutOfMemoryError,
+)
 from repro.kernel.page import HeapKind, Page
+from repro.kernel.slab import (
+    DIRTY,
+    HEAP_JAVA,
+    KIND_FILE,
+    PAGE_SLAB,
+    PRESENT,
+    REFERENCED,
+)
 from repro.kernel.workingset import RefaultEvent
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultOutcome:
     """What one fault cost the faulting task.
 
@@ -79,24 +104,108 @@ class PageFaultHandler:
 
         Raises :class:`OutOfMemoryError` if memory cannot be found even
         with direct reclaim (the Android layer then runs the LMK).
+
+        Object-API wrapper over :meth:`handle_id`; the refault event (if
+        any) is reconstructed for the outcome so callers see the same
+        shape as before the slab refactor.
         """
-        if page.present:
-            # Spurious fault (racing thread already resolved it).
-            page.mark_accessed(write=write)
-            return FaultOutcome(service_ms=self.FAULT_OVERHEAD_MS)
-
-        mm = self.mm
-        now = mm.clock()
-        outcome = FaultOutcome(service_ms=self.FAULT_OVERHEAD_MS)
-        mm.vmstat.pgfault += 1
-
-        refault = mm.workingset.check_refault(
-            now_ms=now, page=page, pid=pid, uid=uid, foreground=foreground
+        service_ms, io_complete_at, distance, direct_reclaims = self.handle_id(
+            page.page_id, pid, uid, foreground, write
         )
-        if refault is not None:
-            outcome.refault = refault
-            outcome.major = True
-            self._account_refault(page, refault)
+        outcome = FaultOutcome(
+            service_ms=service_ms,
+            io_complete_at=io_complete_at,
+            direct_reclaims=direct_reclaims,
+            # Major faults touch a backing store: refaults (zram or
+            # flash) and first-touch file reads (flash).
+            major=distance >= 0 or io_complete_at is not None,
+        )
+        if distance >= 0:
+            outcome.refault = RefaultEvent(
+                time_ms=self.mm.clock(),
+                page=page,
+                pid=pid,
+                uid=uid,
+                foreground=foreground,
+                refault_distance=distance,
+            )
+        return outcome
+
+    def handle_id(
+        self,
+        i: int,
+        pid: int,
+        uid: int,
+        foreground: bool,
+        write: bool = False,
+    ) -> Tuple[float, Optional[float], int, int]:
+        """Fused fault resolution on a raw slab id.
+
+        Returns ``(service_ms, io_complete_at, refault_distance,
+        direct_reclaims)`` — ``refault_distance`` is ``-1`` for a
+        first-touch fault.  Raises :class:`OutOfMemoryError` exactly
+        like :meth:`handle`.
+        """
+        mm = self.mm
+        slab = PAGE_SLAB
+        flags = slab.flags
+        f = flags[i]
+        is_file = slab.kind[i] == KIND_FILE
+        if f & PRESENT:
+            # Spurious fault (racing thread already resolved it).
+            if write and is_file:
+                flags[i] = f | REFERENCED | DIRTY
+            else:
+                flags[i] = f | REFERENCED
+            return self.FAULT_OVERHEAD_MS, None, -1, 0
+
+        sim = mm.sim
+        now = sim.now if sim is not None else mm.clock()
+        service_ms = self.FAULT_OVERHEAD_MS
+        vmstat = mm.vmstat
+        vmstat.pgfault += 1
+        psi = self.psi
+        io_complete_at: Optional[float] = None
+
+        # Inlined workingset.check_refault_id / _resolve_refault: two
+        # Python frames per fault on the hottest path in the simulator.
+        workingset = mm.workingset
+        shadow = slab.shadow
+        shadow_clock = shadow[i]
+        if shadow_clock:
+            shadow[i] = 0
+            if workingset.shadow_entries:
+                workingset.shadow_entries -= 1
+            slab.refaults[i] += 1
+            distance = workingset.eviction_clock - shadow_clock
+            if workingset._observers:
+                event = RefaultEvent(
+                    time_ms=now,
+                    page=slab.view(i),
+                    pid=pid,
+                    uid=uid,
+                    foreground=foreground,
+                    refault_distance=distance,
+                )
+                for observer in list(workingset._observers):
+                    observer(event)
+        else:
+            distance = -1
+        if distance >= 0:
+            # --- refault accounting (was _account_refault) ------------
+            vmstat.refault_total += 1
+            if foreground:
+                vmstat.refault_fg += 1
+            else:
+                vmstat.refault_bg += 1
+            if not is_file:
+                vmstat.refault_anon += 1
+                if slab.heap[i] == HEAP_JAVA:
+                    vmstat.refault_java_heap += 1
+                else:
+                    vmstat.refault_native_heap += 1
+            else:
+                vmstat.refault_file += 1
             tracer = self.tracer
             if tracer is not None:
                 tracer.instant(
@@ -104,14 +213,13 @@ class PageFaultHandler:
                     args={
                         "app": self.pid_names.get(pid, str(pid)),
                         "fg": foreground,
-                        "kind": "anon" if page.is_anon else "file",
+                        "kind": "file" if is_file else "anon",
                     },
                 )
-            psi = self.psi
-            if page.is_anon:
-                mm.vmstat.pswpin += 1
-                swapin_ms = mm.zram.load(page.page_id)
-                outcome.service_ms += swapin_ms
+            if not is_file:
+                vmstat.pswpin += 1
+                swapin_ms = mm.zram.load(i)
+                service_ms += swapin_ms
                 # Swap-in decompression is thrashing work: Linux wraps
                 # it in psi_memstall_enter/leave.
                 if psi is not None:
@@ -119,42 +227,70 @@ class PageFaultHandler:
                                full=foreground)
             else:
                 bio = mm.flash.read(now, 1, owner_pid=pid)
-                outcome.io_complete_at = bio.complete_time
-                mm.vmstat.filein += 1
+                io_complete_at = bio.complete_time
+                vmstat.filein += 1
                 if psi is not None:
-                    wait = bio.complete_time - now
+                    wait = io_complete_at - now
                     # A refault read stalls the task on io, and — being
                     # working-set thrashing — counts as memory pressure
                     # too (the kernel's workingset-refault memstall).
                     psi.record("io", wait, start=now, uid=uid, full=foreground)
                     psi.record("memory", wait, start=now, uid=uid,
                                full=foreground)
-        # Fresh file page (first touch) also needs a flash read.
-        elif page.is_file:
-            outcome.major = True
+            vmstat.pgmajfault += 1
+        elif is_file:
+            # Fresh file page (first touch) also needs a flash read.
             bio = mm.flash.read(now, 1, owner_pid=pid)
-            outcome.io_complete_at = bio.complete_time
-            mm.vmstat.filein += 1
-            if self.psi is not None:
-                self.psi.record("io", bio.complete_time - now, start=now,
-                                uid=uid, full=foreground)
-        if outcome.major:
-            mm.vmstat.pgmajfault += 1
+            io_complete_at = bio.complete_time
+            vmstat.filein += 1
+            if psi is not None:
+                psi.record("io", io_complete_at - now, start=now,
+                           uid=uid, full=foreground)
+            vmstat.pgmajfault += 1
 
+        # --- fused make_resident(active=refaulted) --------------------
         # Refaulted pages re-enter on the active list (the kernel's
         # workingset_refault promotion); first-touch pages go inactive.
-        alloc = mm.make_resident(page, active=refault is not None)
-        outcome.service_ms += alloc.stall_ms
-        outcome.direct_reclaims += alloc.direct_reclaims
-        if alloc.stall_ms > 0 and self.psi is not None:
+        stall_ms = 0.0
+        direct_reclaims = 0
+        if mm._free_pages <= mm._wm_min:
+            alloc = AllocationOutcome()
+            mm._ensure_headroom(alloc)  # may raise OutOfMemoryError
+            stall_ms = alloc.stall_ms
+            direct_reclaims = alloc.direct_reclaims
+        flags[i] = (flags[i] | PRESENT) & ~REFERENCED & 0xFF
+        mm._resident_pages += 1
+        free = mm._free_pages - 1
+        mm._free_pages = free
+        vmstat.pgalloc += 1
+        mm.lru.add_id(i, distance >= 0)
+        # Inlined _charge_contention(pages=1).
+        if free < mm._wm_high:
+            if free < mm._wm_low:
+                contention = min(ALLOC_CONTENTION_CAP_MS, ALLOC_CONTENTION_LOW_MS)
+            else:
+                contention = min(ALLOC_CONTENTION_CAP_MS, ALLOC_CONTENTION_HIGH_MS)
+            stall_ms += contention
+            vmstat.alloc_stall_ms += contention
+        # Inlined _check_watermarks.
+        if free < mm._wm_low and mm.kswapd_waker is not None:
+            mm.kswapd_waker()
+        service_ms += stall_ms
+        if stall_ms > 0 and psi is not None:
             # Direct-reclaim + allocator-contention time charged to the
             # faulting task (§2.2.3(2)'s priority-inversion stall).
-            self.psi.record("memory", alloc.stall_ms, start=now, uid=uid,
-                            full=foreground)
-        page.mark_accessed(write=write)
-        return outcome
+            psi.record("memory", stall_ms, start=now, uid=uid,
+                       full=foreground)
+        # Inlined mark_accessed(write).
+        if write and is_file:
+            flags[i] |= REFERENCED | DIRTY
+        else:
+            flags[i] |= REFERENCED
+        return service_ms, io_complete_at, distance, direct_reclaims
 
     def _account_refault(self, page: Page, refault: RefaultEvent) -> None:
+        # Retained for API compatibility (experiments may call it); the
+        # fused path inlines this accounting.
         stats = self.mm.vmstat
         stats.refault_total += 1
         if refault.foreground:

@@ -6,29 +6,43 @@ and, as in the kernel, the page-fault path can resolve the faulting
 process directly from the table that the virtual address belongs to —
 this is how RPF attributes a refault to a process (§4.2.1, "Process
 selection").
+
+Segments store **page ids** (ints into :data:`~repro.kernel.slab.PAGE_SLAB`)
+rather than view objects; ``pages`` materialises views lazily for the
+object API.  ``build_block`` is the bulk construction path: a process
+footprint of N pages becomes one slab block allocation instead of N
+``Page.__init__`` calls.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
-from repro.kernel.page import HeapKind, Page, PageKind
+from repro.kernel.page import HEAP_CODE, HeapKind, Page, PageKind
+from repro.kernel.slab import DIRTY, HOT, PAGE_SLAB, PRESENT
 
 
 class Segment:
     """A named group of pages (java heap, native heap, file mappings)."""
 
-    __slots__ = ("name", "pages")
+    __slots__ = ("name", "ids")
 
     def __init__(self, name: str):
         self.name = name
-        self.pages: List[Page] = []
+        self.ids: List[int] = []
 
     def __len__(self) -> int:
-        return len(self.pages)
+        return len(self.ids)
+
+    @property
+    def pages(self) -> List[Page]:
+        """Materialised views (object API; not used on hot paths)."""
+        view = PAGE_SLAB.view
+        return [view(i) for i in self.ids]
 
     def resident(self) -> int:
-        return sum(1 for page in self.pages if page.present)
+        flags = PAGE_SLAB.flags
+        return sum(1 for i in self.ids if flags[i] & PRESENT)
 
 
 class PageTable:
@@ -49,20 +63,49 @@ class PageTable:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _segment_name(self, kind: PageKind, heap: HeapKind) -> str:
+        if kind is PageKind.FILE:
+            return self.FILE_MAP
+        if heap is HeapKind.JAVA:
+            return self.JAVA_HEAP
+        return self.NATIVE_HEAP
+
     def build_page(
         self, kind: PageKind, heap: HeapKind, dirty: bool = False, hot: bool = False
     ) -> Page:
         """Create a page owned by this table's process and register it."""
         page = Page(kind=kind, owner=self.owner, heap=heap, dirty=dirty, hot=hot)
-        # Inlined segment_for: footprint construction builds every page
-        # of every launched process through here.
-        if kind is PageKind.FILE:
-            self.segments[self.FILE_MAP].pages.append(page)
-        elif heap is HeapKind.JAVA:
-            self.segments[self.JAVA_HEAP].pages.append(page)
-        else:
-            self.segments[self.NATIVE_HEAP].pages.append(page)
+        self.segments[self._segment_name(kind, heap)].ids.append(page.page_id)
         return page
+
+    def build_block(
+        self,
+        count: int,
+        kind: PageKind,
+        heap: HeapKind,
+        dirty: bool = False,
+        hot: bool = False,
+    ) -> range:
+        """Bulk-create ``count`` identical pages; returns their id range.
+
+        One slab block allocation and one list extend — the footprint
+        construction fast path (no view objects are built).
+        """
+        if kind is PageKind.FILE:
+            if heap is not HeapKind.NONE:
+                raise ValueError("file-backed pages have no heap kind")
+        elif heap is HeapKind.NONE:
+            raise ValueError("anonymous pages must be tagged JAVA or NATIVE")
+        flag_bits = (DIRTY if dirty else 0) | (HOT if hot else 0)
+        ids = PAGE_SLAB.alloc_block(
+            count,
+            1 if kind is PageKind.FILE else 0,
+            HEAP_CODE[heap],
+            owner=self.owner,
+            flag_bits=flag_bits,
+        )
+        self.segments[self._segment_name(kind, heap)].ids.extend(ids)
+        return ids
 
     def segment_for(self, page: Page) -> Segment:
         if page.is_file:
@@ -75,11 +118,24 @@ class PageTable:
     # Queries
     # ------------------------------------------------------------------
     def all_pages(self) -> Iterator[Page]:
+        view = PAGE_SLAB.view
         for segment in self.segments.values():
-            yield from segment.pages
+            for i in segment.ids:
+                yield view(i)
+
+    def all_page_ids(self) -> List[int]:
+        java, native, file_map = (
+            self.segments[self.JAVA_HEAP].ids,
+            self.segments[self.NATIVE_HEAP].ids,
+            self.segments[self.FILE_MAP].ids,
+        )
+        return java + native + file_map
 
     def pages_of(self, segment_name: str) -> List[Page]:
         return self.segments[segment_name].pages
+
+    def ids_of(self, segment_name: str) -> List[int]:
+        return self.segments[segment_name].ids
 
     @property
     def total_pages(self) -> int:
@@ -91,9 +147,14 @@ class PageTable:
 
     @property
     def evicted_pages(self) -> int:
-        return sum(
-            1 for page in self.all_pages() if not page.present and page.was_evicted
-        )
+        flags = PAGE_SLAB.flags
+        shadow = PAGE_SLAB.shadow
+        count = 0
+        for segment in self.segments.values():
+            for i in segment.ids:
+                if not flags[i] & PRESENT and shadow[i]:
+                    count += 1
+        return count
 
     def resident_by_segment(self) -> Dict[str, int]:
         return {name: segment.resident() for name, segment in self.segments.items()}

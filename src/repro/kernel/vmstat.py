@@ -51,6 +51,10 @@ class VmStat:
     alloc_stall_ms: float = 0.0
     oom_kills: int = 0
 
+    # Workingset shadow-entry bookkeeping: entries shed to stay under
+    # the byte budget (see repro.kernel.workingset.SHADOW_ENTRY_BYTES).
+    workingset_shadow_shed: int = 0
+
     @property
     def pgsteal(self) -> int:
         """Total reclaimed pages (the paper's 'reclaim' count)."""

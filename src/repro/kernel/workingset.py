@@ -8,14 +8,39 @@ evicted in between.  The paper's RPF uses exactly this interface
 (``shadow_entry``) to detect refault events in near real time; the
 :class:`WorkingSet` here exposes the same event stream via observer
 callbacks.
+
+Shadow entries live in the slab's ``shadow`` column (clock value, 0 =
+no entry).  Like the kernel's ``workingset_shadow_shrinker``, the
+column is **byte-accounted**: each live entry is charged
+:data:`SHADOW_ENTRY_BYTES` against ``shadow_budget_bytes``, and when
+the budget is exceeded the oldest-clock entries are shed (they encode
+the least useful refault distances).  Shed entries are counted in
+``vmstat.workingset_shadow_shed``; a page whose shadow was shed
+refaults as a plain first-touch fault, exactly like a real kernel after
+shadow-node reclaim.  The default budget (4 MiB ≈ 262k entries) is far
+above what any bench scenario accumulates, so paper metrics are
+unaffected unless a cap is configured deliberately.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.kernel.page import Page
+from repro.kernel.slab import PAGE_SLAB
+
+# Modelled memory cost of one shadow entry.  In Linux a shadow entry is
+# one xarray slot plus its amortised share of the xa_node — of the same
+# order.  Here it covers the slab's shadow-column slot for the id.
+SHADOW_ENTRY_BYTES = 16
+
+# Default cap on shadow-entry memory.  Deliberately generous: bench
+# scenarios peak far below it, so shedding never fires there and the
+# determinism gate stays bit-identical; long-lived serve workers are
+# still bounded.
+DEFAULT_SHADOW_BUDGET_BYTES = 4 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -37,9 +62,28 @@ class RefaultEvent:
 class WorkingSet:
     """Shadow-entry bookkeeping plus the refault-event bus."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        shadow_budget_bytes: Optional[int] = DEFAULT_SHADOW_BUDGET_BYTES,
+        vmstat=None,
+    ) -> None:
         self.eviction_clock: int = 0
         self._observers: List[Callable[[RefaultEvent], None]] = []
+        #: Byte cap on live shadow entries; ``None`` disables shedding.
+        self.shadow_budget_bytes = shadow_budget_bytes
+        #: Live entries *recorded through this instance* (approximate if
+        #: tests poke ``page.shadow_eviction_clock`` directly; clamped
+        #: at zero so stray pokes cannot wedge the accounting).
+        self.shadow_entries: int = 0
+        #: Total entries shed to stay under budget.
+        self.shadow_shed_total: int = 0
+        # Optional VmStat to mirror shed counts into (wired by the MM).
+        self.vmstat = vmstat
+
+    @property
+    def shadow_bytes(self) -> int:
+        """Current byte charge of live shadow entries."""
+        return self.shadow_entries * SHADOW_ENTRY_BYTES
 
     # ------------------------------------------------------------------
     # Observer registration (RPF subscribes here)
@@ -55,9 +99,59 @@ class WorkingSet:
     # ------------------------------------------------------------------
     def record_eviction(self, page: Page) -> None:
         """Install a shadow entry for a page leaving memory."""
-        self.eviction_clock += 1
-        page.shadow_eviction_clock = self.eviction_clock
-        page.evictions += 1
+        self.record_eviction_id(page.page_id)
+
+    def record_eviction_id(self, i: int) -> None:
+        clock = self.eviction_clock + 1
+        self.eviction_clock = clock
+        slab = PAGE_SLAB
+        if not slab.shadow[i]:
+            self.shadow_entries += 1
+        slab.shadow[i] = clock
+        slab.evictions[i] += 1
+        budget = self.shadow_budget_bytes
+        if budget is not None and self.shadow_entries * SHADOW_ENTRY_BYTES > budget:
+            self._shed_oldest()
+
+    def _shed_oldest(self) -> None:
+        """Drop the oldest-clock shadow entries to get back under budget.
+
+        Sheds down to 7/8 of the cap in one O(column) pass so the scan
+        cost amortises over many evictions rather than firing per
+        eviction at the boundary.
+        """
+        budget = self.shadow_budget_bytes
+        target = (budget // SHADOW_ENTRY_BYTES) * 7 // 8
+        excess = self.shadow_entries - target
+        if excess <= 0:
+            return
+        shadow = PAGE_SLAB.shadow
+        oldest = heapq.nsmallest(
+            excess,
+            ((clock, i) for i, clock in enumerate(shadow) if clock),
+        )
+        for _, i in oldest:
+            shadow[i] = 0
+        shed = len(oldest)
+        self.shadow_entries -= shed
+        if self.shadow_entries < 0:
+            self.shadow_entries = 0
+        self.shadow_shed_total += shed
+        if self.vmstat is not None:
+            self.vmstat.workingset_shadow_shed += shed
+
+    def _resolve_refault(self, i: int) -> int:
+        """Clear ``i``'s shadow entry; return the refault distance
+        (``-1`` when there is no entry, i.e. a first-touch fault)."""
+        slab = PAGE_SLAB
+        clock = slab.shadow[i]
+        if not clock:
+            return -1
+        slab.shadow[i] = 0
+        if self.shadow_entries:
+            self.shadow_entries -= 1
+        slab.refaults[i] += 1
+        return self.eviction_clock - clock
 
     def check_refault(
         self, now_ms: float, page: Page, pid: int, uid: int, foreground: bool
@@ -68,11 +162,9 @@ class WorkingSet:
         observers, and returns the event (or ``None`` for a first-touch
         fault).
         """
-        if page.shadow_eviction_clock is None:
+        distance = self._resolve_refault(page.page_id)
+        if distance < 0:
             return None
-        distance = self.eviction_clock - page.shadow_eviction_clock
-        page.shadow_eviction_clock = None
-        page.refaults += 1
         event = RefaultEvent(
             time_ms=now_ms,
             page=page,
@@ -85,6 +177,36 @@ class WorkingSet:
             observer(event)
         return event
 
+    def check_refault_id(
+        self, now_ms: float, i: int, pid: int, uid: int, foreground: bool
+    ) -> int:
+        """Id-level :meth:`check_refault` for the fused fault path.
+
+        Returns the refault distance (``-1`` for first touch).  The
+        :class:`RefaultEvent` is only materialised when observers are
+        subscribed — the common no-policy case allocates nothing.
+        """
+        distance = self._resolve_refault(i)
+        if distance >= 0 and self._observers:
+            event = RefaultEvent(
+                time_ms=now_ms,
+                page=PAGE_SLAB.view(i),
+                pid=pid,
+                uid=uid,
+                foreground=foreground,
+                refault_distance=distance,
+            )
+            for observer in list(self._observers):
+                observer(event)
+        return distance
+
     def drop_shadow(self, page: Page) -> None:
         """Forget a shadow entry (the owning process died)."""
-        page.shadow_eviction_clock = None
+        self.drop_shadow_id(page.page_id)
+
+    def drop_shadow_id(self, i: int) -> None:
+        slab = PAGE_SLAB
+        if slab.shadow[i]:
+            slab.shadow[i] = 0
+            if self.shadow_entries:
+                self.shadow_entries -= 1

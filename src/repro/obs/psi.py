@@ -350,20 +350,36 @@ class PsiMonitor:
         if start is None:
             start = self.clock()
         end = start + dur_ms
-        # Inlined PsiGroup.record: this is the hottest call in the PSI
-        # layer (every stall site funnels through it).
+        # Inlined PsiGroup.record *and* StallClock.add: this is the
+        # hottest call in the PSI layer (every stall site funnels
+        # through it, several clocks per stall), so the merged-interval
+        # update runs here as straight-line attribute ops.  The merge
+        # semantics mirror StallClock.add exactly.
+        if end <= start:
+            return
         some_clock, full_clock = self.system._clock_pairs[resource]
-        some_clock.add(start, end)
+        clocks = [some_clock]
         if full:
-            full_clock.add(start, end)
+            clocks.append(full_clock)
         if uid is not None:
             group = self.groups.get(uid)
             if group is None:
                 group = self.groups[uid] = PsiGroup(self.update_ms)
             some_clock, full_clock = group._clock_pairs[resource]
-            some_clock.add(start, end)
+            clocks.append(some_clock)
             if full:
-                full_clock.add(start, end)
+                clocks.append(full_clock)
+        for clock in clocks:
+            s = start
+            if s < clock._open_start:
+                s = clock._open_start
+            if s <= clock._open_end:
+                if end > clock._open_end:
+                    clock._open_end = end
+            else:
+                clock._closed += clock._open_end - clock._open_start
+                clock._open_start = s
+                clock._open_end = end
 
     def group(self, uid: int) -> PsiGroup:
         """The per-app group for ``uid`` (created on first stall)."""

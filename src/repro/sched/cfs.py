@@ -15,12 +15,18 @@ per-second buckets for Table 1 and §6.2.2.
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Dict, List, Optional
 
 from repro.sched.task import Task, TaskState
 from repro.trace.tracer import CPU_PID
 
 QUANTUM_MS = 4.0
+
+# Sorting runnable tasks by their table position first, then stably by
+# the pick key, reproduces the original walk-the-table-then-stable-sort
+# ordering exactly (ties in the pick key resolve by insertion order).
+_ORDER_KEY = operator.attrgetter("order_index")
 
 
 class CpuStats:
@@ -73,6 +79,19 @@ class CfsScheduler:
         self.little_cores = max(1, cores // 2)
         self.quantum_ms = quantum_ms
         self.tasks: Dict[int, Task] = {}
+        # State-partitioned views of ``tasks``, maintained incrementally
+        # by Task.state's setter (via :meth:`_note_state`): the 4 ms tick
+        # touches only the blocked set (wakeups) and the runnable set
+        # (dispatch) instead of walking the whole table every quantum.
+        self._runnable: Dict[int, Task] = {}
+        self._blocked: Dict[int, Task] = {}
+        # tid -> vruntime of the non-runnable, non-dead tasks
+        # (sleeping/blocked/frozen) — the complement the min-vruntime
+        # pass needs.  Stored as floats (vruntime only accrues while a
+        # task runs, so the value is frozen while the task idles) so the
+        # per-tick minimum is one C-level ``min`` over the dict values.
+        self._idle_vr: Dict[int, float] = {}
+        self._order_counter = 0
         self.stats = CpuStats(cores)
         # Policy hook: maps a task to its pick-order key (smaller runs
         # first).  Default is plain CFS min-vruntime.
@@ -88,6 +107,10 @@ class CfsScheduler:
         # tick that its fused min-vruntime bookkeeping is stale and a
         # full walk is needed for this quantum.
         self._membership_dirty: bool = True
+        # Monotone serial tagged onto picked tasks each quantum (see
+        # Task.pick_mark): membership tests in the cpu-pressure pass
+        # become one int compare instead of set construction + lookups.
+        self._pick_serial: int = 0
         # Optional tracing hook (repro.trace.Tracer); None when disabled.
         self.tracer = None
         # Optional PSI hook: runnable-but-not-running time is cpu
@@ -104,14 +127,42 @@ class CfsScheduler:
         # New tasks start at the current min vruntime so they neither
         # starve nor monopolise the CPU.
         task.vruntime = self._min_vruntime
+        task.sched = self
+        task.order_index = self._order_counter
+        self._order_counter += 1
         self.tasks[task.tid] = task
+        state = task.state
+        if state is TaskState.RUNNABLE:
+            self._runnable[task.tid] = task
+        elif state is not TaskState.DEAD:
+            self._idle_vr[task.tid] = task.vruntime
+            if state is TaskState.BLOCKED:
+                self._blocked[task.tid] = task
         self._membership_dirty = True
         return task
 
     def remove_task(self, task: Task) -> None:
-        task.kill()
+        task.kill()  # state -> DEAD drops it from the partitioned views
         self.tasks.pop(task.tid, None)
+        if task.sched is self:
+            task.sched = None
         self._membership_dirty = True
+
+    def _note_state(self, task: Task, old: TaskState, new: TaskState) -> None:
+        """Task.state setter hook: keep the partitioned views current."""
+        tid = task.tid
+        if old is TaskState.RUNNABLE:
+            self._runnable.pop(tid, None)
+        else:
+            self._idle_vr.pop(tid, None)
+            if old is TaskState.BLOCKED:
+                self._blocked.pop(tid, None)
+        if new is TaskState.RUNNABLE:
+            self._runnable[tid] = task
+        elif new is not TaskState.DEAD:
+            self._idle_vr[tid] = task.vruntime
+            if new is TaskState.BLOCKED:
+                self._blocked[tid] = task
 
     def tasks_of_pid(self, pid: int) -> List[Task]:
         return [task for task in self.tasks.values() if task.pid == pid]
@@ -129,73 +180,76 @@ class CfsScheduler:
     # Dispatch
     # ------------------------------------------------------------------
     def runnable_tasks(self) -> List[Task]:
-        return [
-            task for task in self.tasks.values() if task.state is TaskState.RUNNABLE
-        ]
+        return sorted(self._runnable.values(), key=_ORDER_KEY)
 
     def tick(self, now: float) -> float:
         """Run one scheduling quantum; returns busy core-ms consumed."""
-        # Fused wake-and-collect pass: one walk over the task table
-        # instead of the _wake_blocked + runnable_tasks pair (this runs
-        # every 4 ms of simulated time and dominates the event loop).
-        runnable: List[Task] = []
-        append = runnable.append
-        blocked = TaskState.BLOCKED
-        runnable_state = TaskState.RUNNABLE
-        dead = TaskState.DEAD
-        # ``idle_min`` tracks min vruntime over the non-runnable,
-        # non-dead tasks seen in this walk; combined with the runnable
-        # list after dispatch it reproduces the full min-vruntime pass
-        # without walking the task table a second time.
-        idle_min: Optional[float] = None
-        for task in self.tasks.values():
-            state = task.state
-            if state is blocked and task.blocked_until <= now:
-                task.blocked_until = 0.0
-                task.unblock()
-                state = task.state
-            if state is runnable_state:
-                append(task)
-            elif state is not dead:
-                vruntime = task.vruntime
-                if idle_min is None or vruntime < idle_min:
-                    idle_min = vruntime
-        if not runnable:
+        # Wake pass over the blocked set only (a handful of tasks) —
+        # the partitioned views make the full-table walk unnecessary.
+        # This runs every 4 ms of simulated time and used to dominate
+        # the event loop.
+        if self._blocked:
+            for task in list(self._blocked.values()):
+                if task.blocked_until <= now:
+                    task.blocked_until = 0.0
+                    task.unblock()
+        if not self._runnable:
             self.stats.record(now, 0.0)
             return 0.0
+        # Table order first, then a stable sort by the pick key — the
+        # exact ordering of the original walk-and-sort.
+        runnable = sorted(self._runnable.values(), key=_ORDER_KEY)
+        # ``idle_min``: min vruntime over the non-runnable, non-dead
+        # tasks, snapshotted before dispatch; combined with the runnable
+        # list after dispatch it reproduces the full min-vruntime pass.
+        idle_vr = self._idle_vr
+        idle_min: Optional[float] = min(idle_vr.values()) if idle_vr else None
+        dead = TaskState.DEAD
         runnable.sort(key=self.pick_key)
-        picked: List[Task] = []
         big_free = self.cores - self.little_cores
         little_free = self.little_cores
         if self.bg_slot_limit is not None:
             little_free = min(little_free, self.bg_slot_limit)
-        for task in runnable:
-            if big_free + little_free == 0:
-                break
-            if self.is_background(task):
-                if little_free > 0:
+        if len(runnable) <= little_free:
+            # Everything fits even if every task is background-confined:
+            # the pick degenerates to "run them all" with no cpuset
+            # classification and no cpu pressure.
+            picked = runnable
+        else:
+            serial = self._pick_serial + 1
+            self._pick_serial = serial
+            is_bg = self.is_background
+            picked = []
+            for task in runnable:
+                if big_free + little_free == 0:
+                    break
+                if is_bg(task):
+                    if little_free > 0:
+                        little_free -= 1
+                        picked.append(task)
+                        task.pick_mark = serial
+                elif big_free > 0:
+                    big_free -= 1
+                    picked.append(task)
+                    task.pick_mark = serial
+                elif little_free > 0:
                     little_free -= 1
                     picked.append(task)
-            elif big_free > 0:
-                big_free -= 1
-                picked.append(task)
-            elif little_free > 0:
-                little_free -= 1
-                picked.append(task)
-        psi = self.psi
-        if psi is not None and len(picked) < len(runnable):
-            # At least one task waits out this whole quantum: cpu "some"
-            # pressure for the system, and for each waiting app's group.
-            psi.record("cpu", self.quantum_ms, start=now)
-            picked_ids = {id(task) for task in picked}
-            waiting_uids = set()
-            for task in runnable:
-                if id(task) in picked_ids or task.process is None:
-                    continue
-                uid = task.process.app.uid
-                if uid not in waiting_uids:
-                    waiting_uids.add(uid)
-                    psi.record("cpu", self.quantum_ms, start=now, uid=uid)
+                    task.pick_mark = serial
+            psi = self.psi
+            if psi is not None and len(picked) < len(runnable):
+                # At least one task waits out this whole quantum: cpu
+                # "some" pressure for the system, and for each waiting
+                # app's group.
+                psi.record("cpu", self.quantum_ms, start=now)
+                waiting_uids = set()
+                for task in runnable:
+                    if task.pick_mark == serial or task.process is None:
+                        continue
+                    uid = task.app_uid
+                    if uid not in waiting_uids:
+                        waiting_uids.add(uid)
+                        psi.record("cpu", self.quantum_ms, start=now, uid=uid)
         busy = 0.0
         tracer = self.tracer
         # Task bodies may add or remove tasks (launches, LMK kills);
@@ -205,14 +259,21 @@ class CfsScheduler:
             used = task.body.run(task, now, self.quantum_ms)
             if used > 0:
                 task.cpu_ms_total += used
-                task.vruntime += used * 1024.0 / task.effective_weight()
+                # Inlined effective_weight() — one call per picked task
+                # per quantum adds up.
+                task.vruntime += used * 1024.0 / (task.weight * task.boost)
                 busy += used
+                if task.tid in idle_vr:
+                    # The task went idle (blocked/slept) inside its own
+                    # body.run, *before* this accrual: refresh the
+                    # snapshot so the idle minimum sees the final value.
+                    idle_vr[task.tid] = task.vruntime
                 if tracer is not None:
                     tracer.complete(
                         task.name, CPU_PID, core, start_ms=now, dur_ms=used,
                         cat="sched",
                     )
-            if tracer is not None and task.state is TaskState.BLOCKED:
+            if tracer is not None and task._state is TaskState.BLOCKED:
                 # I/O block span on the task's own thread track, from the
                 # moment it yielded until its wakeup time.
                 tracer.complete(
@@ -221,7 +282,7 @@ class CfsScheduler:
                     dur_ms=max(0.0, task.blocked_until - now - used),
                     cat="sched",
                 )
-            if task.state is TaskState.RUNNABLE and not task.body.has_work(task):
+            if task._state is TaskState.RUNNABLE and not task.body.has_work(task):
                 task.state = TaskState.SLEEPING
         if picked:
             if self._membership_dirty:
@@ -229,7 +290,7 @@ class CfsScheduler:
                 # exact full walk (rare — launch or kill quanta only).
                 lowest = None
                 for task in self.tasks.values():
-                    if task.state is not dead:
+                    if task._state is not dead:
                         vruntime = task.vruntime
                         if lowest is None or vruntime < lowest:
                             lowest = vruntime
@@ -247,7 +308,7 @@ class CfsScheduler:
         return busy
 
     def _wake_blocked(self, now: float) -> None:
-        for task in self.tasks.values():
-            if task.state is TaskState.BLOCKED and task.blocked_until <= now:
+        for task in list(self._blocked.values()):
+            if task.blocked_until <= now:
                 task.blocked_until = 0.0
                 task.unblock()

@@ -99,7 +99,7 @@ class QueueBody(TaskBody):
             if item.touch is not None and not item.touched:
                 item.touched = True
                 fault_ms = item.touch()
-                if task.state is dead:
+                if task._state is dead:
                     return used
                 if not queue or queue[0] is not item:
                     continue  # the callback restructured the queue
@@ -116,7 +116,7 @@ class QueueBody(TaskBody):
                     queue.popleft()
                 if item.on_complete is not None:
                     item.on_complete()
-                if task.state is dead:
+                if task._state is dead:
                     return used
         return used
 
@@ -135,7 +135,11 @@ class Task:
         "weight",
         "is_kernel",
         "freezable",
-        "state",
+        "_state",
+        "sched",
+        "order_index",
+        "app_uid",
+        "pick_mark",
         "vruntime",
         "queue",
         "body",
@@ -161,7 +165,21 @@ class Task:
         # Kernel threads and (later, via the whitelist) service processes
         # are never freezable (§4.2.1 "Process selection").
         self.freezable = not is_kernel
-        self.state = TaskState.SLEEPING
+        self._state = TaskState.SLEEPING
+        # Owning scheduler; state changes notify it so the run queue is
+        # maintained incrementally instead of re-derived by walking the
+        # whole task table every quantum.
+        self.sched = None
+        # Position in the scheduler's task table (assigned by add_task);
+        # the tie-breaker that reproduces the table-order stable sort.
+        self.order_index = 0
+        # The owning app's uid, cached once (process/app bindings never
+        # change after construction) so the scheduler's cpu-pressure
+        # accounting avoids a three-hop attribute chain per waiting task.
+        self.app_uid = getattr(getattr(process, "app", None), "uid", None)
+        # Scratch mark used by the dispatch loop to tag this quantum's
+        # picked tasks without building a per-tick set.
+        self.pick_mark = 0
         self.vruntime: float = 0.0
         self.queue: Deque[WorkItem] = deque()
         self.body: TaskBody = body or QueueBody()
@@ -172,6 +190,20 @@ class Task:
         self.boost: float = 1.0
 
     # ------------------------------------------------------------------
+    @property
+    def state(self) -> TaskState:
+        return self._state
+
+    @state.setter
+    def state(self, value: TaskState) -> None:
+        old = self._state
+        if value is old:
+            return
+        self._state = value
+        sched = self.sched
+        if sched is not None:
+            sched._note_state(self, old, value)
+
     @property
     def pid(self) -> Optional[int]:
         return getattr(self.process, "pid", None)
@@ -192,31 +224,31 @@ class Task:
     # ------------------------------------------------------------------
     def submit(self, item: WorkItem) -> None:
         """Queue a burst of work; wakes the task if it was sleeping."""
-        if self.state is TaskState.DEAD:
+        if self._state is TaskState.DEAD:
             return
         self.queue.append(item)
-        if self.state is TaskState.SLEEPING:
+        if self._state is TaskState.SLEEPING:
             self.state = TaskState.RUNNABLE
 
     def block_until(self, time: float) -> None:
         """Block on I/O until the given simulated time."""
-        if self.state is TaskState.DEAD:
+        if self._state is TaskState.DEAD:
             return
         self.blocked_until = time
         self.state = TaskState.BLOCKED
 
     def unblock(self) -> None:
-        if self.state is TaskState.BLOCKED:
+        if self._state is TaskState.BLOCKED:
             self.state = (
                 TaskState.RUNNABLE if self.body.has_work(self) else TaskState.SLEEPING
             )
 
     def freeze(self) -> None:
-        if self.state is not TaskState.DEAD:
+        if self._state is not TaskState.DEAD:
             self.state = TaskState.FROZEN
 
     def thaw(self) -> None:
-        if self.state is not TaskState.FROZEN:
+        if self._state is not TaskState.FROZEN:
             return
         if self.body.has_work(self):
             self.state = TaskState.RUNNABLE

@@ -12,6 +12,11 @@ Typical usage::
     sim.schedule(10.0, lambda: print("ten ms in"))
     sim.every(16.67, on_vsync)          # periodic callback
     sim.run_until(1_000.0)              # advance one simulated second
+
+The heap stores ``(time, seq, event)`` tuples rather than bare
+:class:`Event` objects: tuple comparison is C-level, so no Python
+``__lt__`` frame runs on any heap sift.  ``event.time``/``event.seq``
+always mirror the tuple (both are updated before every push).
 """
 
 from __future__ import annotations
@@ -90,7 +95,8 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        # (time, seq, Event) entries — see the module docstring.
+        self._heap: List[tuple] = []
         self._seq: int = 0
         self._running = False
         self.events_executed: int = 0
@@ -124,7 +130,7 @@ class Simulator:
             )
         self._seq += 1
         event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._live += 1
         return event
 
@@ -149,7 +155,9 @@ class Simulator:
         Rebuilds in place so aliases of ``_heap`` held by the hot loop in
         :meth:`run_until` stay valid across a mid-callback compaction.
         """
-        self._heap[:] = [event for event in self._heap if not event.cancelled]
+        self._heap[:] = [
+            entry for entry in self._heap if not entry[2].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
@@ -170,7 +178,7 @@ class Simulator:
         event.seq = self._seq
         event.popped = False
         event.cancelled = False
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, self._seq, event))
         self._live += 1
         return event
 
@@ -191,13 +199,27 @@ class Simulator:
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
         handle = PeriodicHandle(self)
+        heappush = heapq.heappush
+        heap = self._heap  # _compact rebuilds in place; alias stays valid
 
         def tick() -> None:
             if handle.stopped:
                 return
             fn(*args)
             if not handle.stopped:
-                self.reschedule(handle._current, interval)
+                # Inlined reschedule(): this runs for every firing of
+                # every periodic — the call and its guards are pure
+                # overhead for an event we know was just popped.
+                event = handle._current
+                seq = self._seq + 1
+                self._seq = seq
+                when = self.now + interval
+                event.time = when
+                event.seq = seq
+                event.popped = False
+                event.cancelled = False
+                heappush(heap, (when, seq, event))
+                self._live += 1
 
         handle._current = self.schedule(
             interval if first_delay is None else first_delay, tick
@@ -209,25 +231,25 @@ class Simulator:
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` when idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap).popped = True
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)[2].popped = True
             self._cancelled_in_heap -= 1
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` when idle."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            when, _seq, event = heapq.heappop(self._heap)
             event.popped = True
             if event.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
             self._live -= 1
-            self.now = event.time
+            self.now = when
             self.events_executed += 1
             tracer = self.tracer
             if tracer is not None:
-                tracer.engine_event(event.time, event.fn)
+                tracer.engine_event(when, event.fn)
             event.fn(*event.args)
             return True
         return False
@@ -264,20 +286,23 @@ class Simulator:
         executed = 0
         try:
             while heap:
-                event = heap[0]
+                entry = heap[0]
+                event = entry[2]
                 if event.cancelled:
-                    pop(heap).popped = True
+                    pop(heap)
+                    event.popped = True
                     self._cancelled_in_heap -= 1
                     continue
-                if event.time > time:
+                when = entry[0]
+                if when > time:
                     break
                 pop(heap)
                 event.popped = True
                 self._live -= 1
-                self.now = event.time
+                self.now = when
                 executed += 1
                 if trace_hook is not None:
-                    trace_hook(event.time, event.fn)
+                    trace_hook(when, event.fn)
                 event.fn(*event.args)
             self.now = time
         finally:

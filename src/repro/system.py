@@ -29,6 +29,7 @@ from repro.devices.specs import DeviceSpec, huawei_p20
 from repro.kernel.freezer import Freezer
 from repro.kernel.mm import MemoryManager, OutOfMemoryError
 from repro.kernel.page import Page
+from repro.kernel.slab import DIRTY, KIND_FILE, PAGE_SLAB, PRESENT, REFERENCED
 from repro.kernel.page_fault import PageFaultHandler
 from repro.kernel.proc_reclaim import PerProcessReclaim
 from repro.kernel.reclaim import Kswapd
@@ -105,6 +106,7 @@ class MobileSystem:
         self.mm = MemoryManager(
             self.spec, self.zram, self.flash, clock=lambda: self.sim.now
         )
+        self.mm.sim = self.sim
         self.fault_handler = PageFaultHandler(self.mm)
         self.proc_reclaim = PerProcessReclaim(self.mm)
         self.kswapd = Kswapd(self.mm)
@@ -161,7 +163,13 @@ class MobileSystem:
 
             policy = LruCfsPolicy()
         self.policy = policy
-        self.mm.reclaim_protect = self._reclaim_protect
+        # Same trick as the pick-key below: when the policy keeps the
+        # base-class reclaim_protect (which always answers False) the
+        # reclaim scan skips the per-page Python call entirely.
+        if type(policy).reclaim_protect is ManagementPolicy.reclaim_protect:
+            self.mm.reclaim_protect = None
+        else:
+            self.mm.reclaim_protect = self._reclaim_protect
         # Bound method wired directly: the pick key runs once per task
         # per scheduler quantum, so every wrapper frame counts.  When the
         # policy keeps the base-class key (plain CFS min-vruntime) the
@@ -238,8 +246,8 @@ class MobileSystem:
                 self.sched.remove_task(task)
             process.tasks.clear()
             self.freezer.forget(process.pid)
-            freed += self.mm.release_process_pages(
-                list(process.page_table.all_pages())
+            freed += self.mm.release_process_ids(
+                process.page_table.all_page_ids()
             )
         app.processes = []
         app.state = AppState.STOPPED
@@ -253,32 +261,68 @@ class MobileSystem:
     def touch_pages(self, process: Process, pages: List[Page], write: bool = False) -> float:
         """CPU touches to ``pages``; returns blocking fault time in ms.
 
+        Object-API wrapper over :meth:`touch_ids`.
+        """
+        return self.touch_ids(
+            process, [page.page_id for page in pages], write
+        )
+
+    def touch_ids(self, process: Process, ids: List[int], write: bool = False) -> float:
+        """CPU touches to slab page ``ids``; returns blocking fault ms.
+
         Faults within one batch are sequential CPU-side (decompression,
         reclaim stalls add up) but their flash reads pipeline through
         the block queue: the batch blocks until the *last* bio
         completes, not for the sum of all queue waits.
+
+        This is the hottest loop in the simulator: the resident fast
+        path is two array reads and one write, and the fault path calls
+        the fused :meth:`~repro.kernel.page_fault.PageFaultHandler.handle_id`
+        (no ``FaultOutcome`` object) with the LMK retry inlined.
         """
+        if not process.alive:
+            return 0.0
         cpu_ms = 0.0
         now = self.sim.now
         io_until = now
-        foreground = process.app.state is AppState.FOREGROUND
-        fault = self._fault
-        for page in pages:
+        app = process.app
+        foreground = app.state is AppState.FOREGROUND
+        slab = PAGE_SLAB
+        flags = slab.flags
+        kind = slab.kind
+        handle_id = self.fault_handler.handle_id
+        kill_one = self.lmk.kill_one
+        pid = process.pid
+        uid = app.uid
+        # The resident fast path cannot change ``process.alive`` (it is
+        # two flag-column ops), so the liveness re-check only needs to
+        # run after a fault — which may have OOMed and LMK-killed this
+        # very app.
+        for i in ids:
+            f = flags[i]
+            if f & PRESENT:
+                # Inlined mark_accessed fast path (the common read case).
+                if write and kind[i] == KIND_FILE:
+                    flags[i] = f | REFERENCED | DIRTY
+                else:
+                    flags[i] = f | REFERENCED
+                continue
+            result = None
+            for _attempt in range(3):
+                try:
+                    result = handle_id(i, pid, uid, foreground, write)
+                    break
+                except OutOfMemoryError:
+                    victim = kill_one("page-fault")
+                    if victim is None or victim is app:
+                        break
+            if result is not None:
+                cpu_ms += result[0]
+                complete_at = result[1]
+                if complete_at is not None and complete_at > io_until:
+                    io_until = complete_at
             if not process.alive:
                 break
-            if page.present:
-                # Inlined mark_accessed fast path (the common read case).
-                page.referenced = True
-                if write and page.is_file:
-                    page.dirty = True
-                continue
-            outcome = fault(page, process, foreground, write)
-            if outcome is None:
-                continue
-            cpu_ms += outcome.service_ms
-            complete_at = outcome.io_complete_at
-            if complete_at is not None and complete_at > io_until:
-                io_until = complete_at
         return cpu_ms + max(0.0, io_until - self.sim.now)
 
     def _fault(self, page: Page, process: Process, foreground: bool, write: bool):
@@ -295,11 +339,15 @@ class MobileSystem:
 
     def allocate_pages(self, process: Process, pages: List[Page]) -> float:
         """Make ``pages`` resident (fresh allocation); returns stall ms."""
+        return self.allocate_ids(process, [page.page_id for page in pages])
+
+    def allocate_ids(self, process: Process, ids: List[int]) -> float:
+        """Make slab page ``ids`` resident (fresh allocation); stall ms."""
         stall = 0.0
         try:
             for _attempt in range(4):
                 try:
-                    outcome = self.mm.make_resident_bulk(pages)
+                    outcome = self.mm.make_resident_bulk_ids(ids)
                     stall += outcome.stall_ms
                     return stall
                 except OutOfMemoryError:

@@ -51,6 +51,37 @@ def test_run_bench_produces_versioned_document(tmp_path):
     assert json.loads(open(path).read()) == doc
 
 
+def test_micro_benchmarks_report_rates():
+    from repro.bench.micro import fault_loop_micro, lru_micro
+
+    lru = lru_micro(pages=64, rounds=2)
+    assert lru["ops"] > 0
+    assert lru["ops_per_sec"] > 0
+
+    # Enough iterations to wrap the 2,560-page footprint a few times,
+    # so the loop actually reclaims and refaults.
+    fault = fault_loop_micro(iterations=8_000)
+    assert fault["iterations"] == 8_000
+    assert fault["page_faults"] > 0
+    assert fault["refaults"] > 0
+    assert fault["reclaimed"] > 0
+    assert fault["iters_per_sec"] > 0
+
+
+def test_micro_section_attached_when_enabled():
+    config = BenchConfig(
+        scenarios=("S-A",),
+        policies=("LRU+CFS",),
+        seconds=1.0,
+        seed=7,
+        micro=True,
+    )
+    doc = run_bench(config)
+    assert set(doc["micro"]) == {"lru", "fault_loop"}
+    assert doc["micro"]["lru"]["ops_per_sec"] > 0
+    assert doc["micro"]["fault_loop"]["iters_per_sec"] > 0
+
+
 def test_smoke_config_is_short():
     config = BenchConfig.smoke_config()
     assert config.smoke
