@@ -13,6 +13,9 @@ Examples::
     python -m repro overhead
     python -m repro serve --port 8080 --workers 4
     python -m repro submit --scenario S-B --policy Ice --seconds 20
+    python -m repro coordinator --port 8090 --ratelimit-rps 50
+    python -m repro serve --port 8081 --node-id n1 --coordinator http://127.0.0.1:8090
+    python -m repro loadtest --url http://127.0.0.1:8090 --requests 200
 """
 
 from __future__ import annotations
@@ -362,21 +365,85 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         job_min_retention_s=args.job_min_retention,
         max_events_per_job=args.max_job_events or None,
+        node_id=args.node_id,
+        ratelimit_rps=args.ratelimit_rps,
+        ratelimit_burst=args.ratelimit_burst,
     )
 
     def ready(server) -> None:
+        port = server.port if hasattr(server, "port") else server.server.port
         print(
-            f"repro-serve listening on http://{config.host}:{server.port} "
+            f"repro-serve listening on http://{config.host}:{port} "
             f"(workers={config.workers}, queue depth={config.queue_depth}, "
-            f"cache={'disk:' + config.cache_dir if config.cache_dir else 'memory'})",
+            f"cache={'disk:' + config.cache_dir if config.cache_dir else 'memory'})"
+            + (f" [fleet node {config.node_id}]" if args.coordinator else ""),
             flush=True,
         )
 
     try:
-        asyncio.run(run_server(config, ready=ready))
+        if args.coordinator:
+            from repro.fleet.node import run_node
+
+            if not config.node_id:
+                print(
+                    "error: --coordinator requires --node-id",
+                    file=sys.stderr,
+                )
+                return 2
+            asyncio.run(run_node(
+                config, args.coordinator,
+                advertise_url=args.advertise_url,
+                heartbeat_interval_s=args.heartbeat_every,
+                ready=ready,
+            ))
+        else:
+            asyncio.run(run_server(config, ready=ready))
     except KeyboardInterrupt:
         pass  # SIGINT before the drain handler was installed
     return 0
+
+
+def cmd_coordinator(args: argparse.Namespace) -> int:
+    """Run the fleet coordinator: membership, routing, admission."""
+    import asyncio
+
+    from repro.fleet.coordinator import CoordinatorConfig, run_coordinator
+
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        sweep_interval_s=args.sweep_every,
+        ratelimit_rps=args.ratelimit_rps,
+        ratelimit_burst=args.ratelimit_burst,
+        proxy_timeout_s=args.proxy_timeout,
+    )
+
+    def ready(coordinator) -> None:
+        limits = (
+            f"{config.ratelimit_rps}/s per tenant"
+            if config.ratelimit_rps else "off"
+        )
+        print(
+            f"repro-fleet coordinator on http://{config.host}:"
+            f"{coordinator.port} (heartbeat timeout "
+            f"{config.heartbeat_timeout_s}s, rate limits {limits})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_coordinator(config, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay a synthetic RunRequest mix; emit LOADTEST_<date>.json."""
+    from repro.fleet.loadtest import main as loadtest_main
+
+    return loadtest_main(args)
 
 
 def _print_served_result(job: dict) -> None:
@@ -415,6 +482,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
             progress_interval_ms=progress_ms,
             tenant=args.tenant,
+            retries=args.retries,
         )
     except QueueFullError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -431,7 +499,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
         return 0
     try:
         if args.follow and not job.get("cache_hit"):
-            for event, data in client.events(job_id):
+            # follow() (not events()) so a dropped socket mid-run
+            # reconnects from the last absolute cursor.
+            for event, data in client.follow(
+                job_id, timeout_s=args.wait_timeout
+            ):
                 print(f"  {event}: {json.dumps(data)}", file=sys.stderr)
             job = client.get(job_id)
         elif job["state"] in ("queued", "running"):
@@ -617,7 +689,90 @@ def main(argv=None) -> int:
                          help="per-job lifecycle event cap; SSE followers "
                               "see a dropped_events marker past it "
                               "(0 = unbounded)")
+    p_serve.add_argument("--coordinator", default=None, metavar="URL",
+                         help="join the fleet at this coordinator URL "
+                              "(register + heartbeat; requires --node-id)")
+    p_serve.add_argument("--node-id", default=None, metavar="NAME",
+                         help="this node's fleet identity")
+    p_serve.add_argument("--advertise-url", default=None, metavar="URL",
+                         help="URL the coordinator should reach this node "
+                              "at (default: http://<host>:<port>)")
+    p_serve.add_argument("--heartbeat-every", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="fleet heartbeat interval")
+    p_serve.add_argument("--ratelimit-rps", type=float, default=None,
+                         metavar="RPS",
+                         help="per-tenant token-bucket refill rate; "
+                              "rejections are 429 + Retry-After "
+                              "(default: no rate limiting)")
+    p_serve.add_argument("--ratelimit-burst", type=float, default=None,
+                         metavar="TOKENS",
+                         help="per-tenant bucket capacity "
+                              "(default: 2x the rate)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_coord = sub.add_parser(
+        "coordinator",
+        help="run the fleet coordinator: node registry, heartbeat "
+             "liveness, consistent-hash routing, per-tenant rate "
+             "limits (repro.fleet)",
+    )
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument("--port", type=int, default=8090,
+                         help="listen port (0 = ephemeral)")
+    p_coord.add_argument("--vnodes", type=int, default=64, metavar="N",
+                         help="virtual nodes per member on the hash ring")
+    p_coord.add_argument("--heartbeat-timeout", type=float, default=6.0,
+                         metavar="SECONDS",
+                         help="a node silent this long is evicted and its "
+                              "in-flight jobs resubmitted")
+    p_coord.add_argument("--sweep-every", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="liveness sweep interval")
+    p_coord.add_argument("--ratelimit-rps", type=float, default=None,
+                         metavar="RPS",
+                         help="per-tenant token-bucket refill rate at "
+                              "admission (default: no rate limiting)")
+    p_coord.add_argument("--ratelimit-burst", type=float, default=None,
+                         metavar="TOKENS",
+                         help="per-tenant bucket capacity "
+                              "(default: 2x the rate)")
+    p_coord.add_argument("--proxy-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="budget for one proxied node round-trip")
+    p_coord.set_defaults(func=cmd_coordinator)
+
+    p_loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a synthetic RunRequest mix against a coordinator "
+             "or node; emit a schema-versioned LOADTEST_<date>.json",
+    )
+    p_loadtest.add_argument("--url", default="http://127.0.0.1:8090",
+                            help="coordinator or node base URL")
+    p_loadtest.add_argument("--requests", type=int, default=200, metavar="N")
+    p_loadtest.add_argument("--concurrency", type=int, default=8, metavar="N",
+                            help="closed-loop client threads")
+    p_loadtest.add_argument("--seed", type=int, default=42,
+                            help="mix generator seed (same seed, same mix)")
+    p_loadtest.add_argument("--tenants", default=None, metavar="A,B,C",
+                            help="comma-separated tenant names "
+                                 "(default: tenant-a,tenant-b,tenant-c)")
+    p_loadtest.add_argument("--duplicate-fraction", type=float, default=0.25,
+                            metavar="F",
+                            help="fraction of submissions duplicating an "
+                                 "earlier one (cache-hit traffic)")
+    p_loadtest.add_argument("--sweep", default=None, metavar="1,2,4,8",
+                            help="also run a knee-of-curve concurrency sweep "
+                                 "at these levels")
+    p_loadtest.add_argument("--sweep-requests", type=int, default=60,
+                            metavar="N", help="requests per sweep level")
+    p_loadtest.add_argument("--wait-timeout-s", type=float, default=300.0,
+                            metavar="SECONDS",
+                            help="per-request completion timeout")
+    p_loadtest.add_argument("--out", default=None, metavar="PATH",
+                            help="artifact path "
+                                 "(default: LOADTEST_<date>.json)")
+    p_loadtest.set_defaults(func=cmd_loadtest)
 
     p_submit = sub.add_parser(
         "submit", help="submit one run to a `repro serve` instance"
@@ -648,6 +803,10 @@ def main(argv=None) -> int:
     p_submit.add_argument("--wait-timeout", type=float, default=600.0,
                           metavar="SECONDS",
                           help="client-side polling timeout")
+    p_submit.add_argument("--retries", type=int, default=3, metavar="N",
+                          help="retry 429 backpressure and transient "
+                               "connection failures this many times with "
+                               "jittered exponential backoff")
     p_submit.set_defaults(func=cmd_submit)
 
     p_table1 = sub.add_parser("table1", help="regenerate Table 1")

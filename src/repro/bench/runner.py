@@ -332,6 +332,11 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
     soak.add_argument("--soak-sample-every", type=int, default=250,
                       metavar="N",
                       help="sample memory/consistency every N submissions")
+    soak.add_argument("--soak-fault-every", type=int, default=0,
+                      metavar="N",
+                      help="every N submissions SIGKILL one pool worker "
+                           "and verify a cache-miss probe still completes "
+                           "through the rebuilt pool (0 = off)")
     soak.add_argument("--soak-max-drift-pct", type=float, default=None,
                       metavar="PCT",
                       help="fail if post-warmup RSS drift exceeds ±PCT")

@@ -27,6 +27,8 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import json
+import os
+import signal
 import sys
 import time
 from collections import deque
@@ -86,6 +88,10 @@ class SoakConfig:
     warmup_frac: float = 0.2
     # Recent ids probed for the 200/410-never-404 invariant per sample.
     probe_ids: int = 5
+    # Fault injection: every N submissions, SIGKILL one pool worker and
+    # drive a cache miss through the broken pool, exercising the
+    # crash-detect/rebuild/retry path under sustained load (0 = off).
+    fault_every: int = 0
     max_rss_drift_pct: Optional[float] = None
     out: Optional[str] = None
     seed: int = 42
@@ -143,6 +149,28 @@ def _request(config: SoakConfig, seed: int) -> dict:
     }
 
 
+def _kill_one_worker(handle) -> Optional[int]:
+    """SIGKILL one live pool worker process; returns its pid or None.
+
+    Reaches into the in-process server's executor on purpose: the
+    point is an *unannounced* death — exactly what the OOM killer does
+    to a worker on a loaded host — not a graceful pool shutdown.
+    """
+    try:
+        pool = handle.server.state.fleet._pool
+        processes = list((pool._processes or {}).values()) if pool else []
+    except AttributeError:
+        return None
+    for proc in processes:
+        if proc.is_alive() and proc.pid is not None:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                continue
+            return proc.pid
+    return None
+
+
 def run_soak(config: SoakConfig, progress=None) -> Dict[str, object]:
     """Boot a server, soak it, and return the artifact document."""
     from repro.serve.client import ServeClient, ServeError
@@ -152,6 +180,7 @@ def run_soak(config: SoakConfig, progress=None) -> Dict[str, object]:
     recent_ids: deque = deque(maxlen=200)
     tombstone_404s = 0
     budget_over_bytes_max = 0
+    faults: List[dict] = []
     all_failures: List[str] = []
 
     with ServerThread(_serve_config(config)) as handle:
@@ -233,6 +262,30 @@ def run_soak(config: SoakConfig, progress=None) -> Dict[str, object]:
             recent_ids.append(job["id"])
             submissions += 1
             index += 1
+            if (
+                config.fault_every
+                and submissions % config.fault_every == 0
+            ):
+                pid = _kill_one_worker(handle)
+                if pid is not None:
+                    # A unique seed misses the cache, so the dead
+                    # worker is discovered *now*: the fleet must see
+                    # BrokenProcessPool, rebuild, retry, and still
+                    # return a result.
+                    victim_job = client.run(
+                        _request(
+                            config,
+                            config.seed + 100_000 + len(faults),
+                        ),
+                        timeout_s=120.0,
+                    )
+                    faults.append({
+                        "at_submission": submissions,
+                        "killed_pid": pid,
+                        "probe_state": victim_job["state"],
+                    })
+                    recent_ids.append(victim_job["id"])
+                    submissions += 1
             if submissions % config.sample_every == 0:
                 sample(submissions, t0)
         final = sample(submissions, t0)
@@ -261,6 +314,10 @@ def run_soak(config: SoakConfig, progress=None) -> Dict[str, object]:
         "jobs_retained_final": final["jobs_retained"],
         "evicted_total": final["retention"]["evicted_total"],
         "tombstone_404s": tombstone_404s,
+        "faults_injected": len(faults),
+        "fault_probes_done": sum(
+            1 for f in faults if f["probe_state"] == "done"
+        ),
         "consistency_failures": unique_failures,
     }
     return {
@@ -286,6 +343,7 @@ def run_soak(config: SoakConfig, progress=None) -> Dict[str, object]:
         },
         "summary": summary,
         "samples": samples,
+        "faults": faults,
     }
 
 
@@ -310,6 +368,7 @@ def config_from_args(args: argparse.Namespace) -> SoakConfig:
             int(budget_mb * 1024 * 1024) if budget_mb else 1024 * 1024
         ),
         sample_every=int(getattr(args, "soak_sample_every", 250)),
+        fault_every=int(getattr(args, "soak_fault_every", 0) or 0),
         max_rss_drift_pct=getattr(args, "soak_max_drift_pct", None),
         out=getattr(args, "out", None),
         seed=int(getattr(args, "seed", 42)),
@@ -349,6 +408,13 @@ def main(args: argparse.Namespace) -> int:
         print(
             f"soak: FAIL job table exceeded its budget by "
             f"{summary['budget_over_bytes_max']} bytes",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["faults_injected"] > summary["fault_probes_done"]:
+        print(
+            f"soak: FAIL only {summary['fault_probes_done']} of "
+            f"{summary['faults_injected']} post-fault probes completed",
             file=sys.stderr,
         )
         failed = True

@@ -114,6 +114,22 @@ class _Family:
         """The single unlabeled child (only when labelnames is empty)."""
         return self.labels()
 
+    def remove(self, *values: object) -> bool:
+        """Drop one label series (e.g. a fleet node that was evicted).
+
+        Counters are per-series monotonic, so deleting a series is the
+        only honest way to stop exposing an entity that no longer
+        exists; returns False when the series was never created.
+        """
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects {len(self.labelnames)} label value(s) "
+                f"({', '.join(self.labelnames)}), got {len(values)}"
+            )
+        key = tuple(str(value) for value in values)
+        with self._lock:
+            return self._children.pop(key, None) is not None
+
     def items(self) -> List[Tuple[Tuple[str, ...], object]]:
         with self._lock:
             return sorted(self._children.items())

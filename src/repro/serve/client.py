@@ -1,15 +1,28 @@
 """Blocking HTTP client for the serve control plane.
 
-Used by ``python -m repro submit``, the test suite, and anything else
-that wants a simulation result without speaking HTTP by hand.  One
-plain :mod:`http.client` connection per call keeps the client free of
-state and safe to use from any thread.
+Used by ``python -m repro submit``, the test suite, the fleet
+loadtest generator, and anything else that wants a simulation result
+without speaking HTTP by hand.  One plain :mod:`http.client`
+connection per call keeps the client free of state and safe to use
+from any thread.
+
+Two failure modes are retryable and handled here so every caller
+doesn't reinvent them:
+
+* **Backpressure** — 429 (queue full or rate limited).  ``submit``
+  can retry with bounded jittered exponential backoff, honoring the
+  server's ``retry_after_s`` hint when it is longer than the backoff.
+* **Dropped streams** — an SSE follower whose socket dies mid-run.
+  Every event frame carries an absolute ``id:``; :meth:`follow`
+  reconnects with ``?cursor=<last id + 1>`` and resumes exactly where
+  the stream broke instead of replaying or losing history.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
 from typing import Dict, Iterator, Optional, Tuple, Union
@@ -20,6 +33,28 @@ DEFAULT_BASE_URL = "http://127.0.0.1:8080"
 
 # Event kinds after which the server ends the SSE stream.
 TERMINAL_EVENTS = frozenset(("done", "failed", "cancelled", "expired"))
+
+# Backoff shape for retried submissions and SSE reconnects: full
+# jitter over an exponentially growing, capped window.
+RETRY_BASE_S = 0.2
+RETRY_CAP_S = 5.0
+DEFAULT_RETRIES = 3
+
+# Transport-level failures worth retrying: the connection died or was
+# refused mid-conversation, not a server verdict about the request.
+TRANSIENT_ERRORS = (ConnectionError, http.client.HTTPException, TimeoutError)
+
+
+def backoff_delay(attempt: int, retry_after_s: float = 0.0) -> float:
+    """Jittered exponential delay for retry ``attempt`` (1-based).
+
+    Full jitter (0.5x-1x of the window) decorrelates a thundering herd
+    of clients that all got backpressured at the same instant; a
+    server-provided ``retry_after_s`` (the token bucket's exact refill
+    time) acts as a floor, since retrying sooner is guaranteed futile.
+    """
+    window = min(RETRY_CAP_S, RETRY_BASE_S * (2 ** max(0, attempt - 1)))
+    return max(retry_after_s, window * (0.5 + random.random() / 2))
 
 
 class ServeError(Exception):
@@ -32,7 +67,18 @@ class ServeError(Exception):
 
 
 class QueueFullError(ServeError):
-    """429 — the server applied backpressure; retry later."""
+    """429 — queue full or rate limited; retry later.
+
+    ``retry_after_s`` is the server's own estimate (0 when it offered
+    none): the token bucket's exact refill time for rate limits.
+    """
+
+    @property
+    def retry_after_s(self) -> float:
+        try:
+            return float(self.body.get("retry_after_s", 0.0))
+        except (TypeError, ValueError):
+            return 0.0
 
 
 class ServeClient:
@@ -87,8 +133,16 @@ class ServeClient:
         timeout_s: Optional[float] = None,
         progress_interval_ms: Optional[float] = None,
         tenant: Optional[str] = None,
+        retries: int = 0,
     ) -> dict:
-        """POST the request; returns the job snapshot (maybe cached)."""
+        """POST the request; returns the job snapshot (maybe cached).
+
+        ``retries`` > 0 retries 429 backpressure and transient
+        connection failures with jittered exponential backoff (the
+        library default stays 0 so callers that *want* to observe
+        backpressure — tests, the loadtest's knee sweep — see every
+        429; the CLI passes 3).
+        """
         body = dict(
             request.to_dict() if isinstance(request, RunRequest) else request
         )
@@ -100,7 +154,20 @@ class ServeClient:
             body["progress_interval_ms"] = progress_interval_ms
         if tenant is not None:
             body["tenant"] = tenant
-        return self._checked("POST", "/v1/runs", body)
+        attempt = 0
+        while True:
+            try:
+                return self._checked("POST", "/v1/runs", body)
+            except QueueFullError as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(backoff_delay(attempt, exc.retry_after_s))
+            except TRANSIENT_ERRORS:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(backoff_delay(attempt))
 
     def get(self, job_id: str) -> dict:
         return self._checked("GET", f"/v1/runs/{job_id}")
@@ -161,20 +228,44 @@ class ServeClient:
         return self.wait(job["id"], timeout_s=timeout_s)
 
     # ------------------------------------------------------------------
-    def events(
-        self, job_id: str, timeout_s: float = 300.0
-    ) -> Iterator[Tuple[str, dict]]:
-        """Follow the job's SSE stream, yielding ``(event, data)``.
+    def _events_once(
+        self, job_id: str, cursor: int, timeout_s: float
+    ) -> Iterator[Tuple[Optional[int], str, dict]]:
+        """One SSE connection from ``cursor``; yields (id, event, data).
 
-        The generator ends when the server closes the stream after a
-        terminal event.
+        Ends when the server closes the stream; raises the usual
+        transient errors when the socket dies mid-stream.
         """
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=timeout_s
-        )
+        host, port = self.host, self.port
+        path = f"/v1/runs/{job_id}/events"
+        if cursor:
+            path += f"?cursor={cursor}"
+        conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
         try:
-            conn.request("GET", f"/v1/runs/{job_id}/events")
+            conn.request("GET", path)
             response = conn.getresponse()
+            # A fleet coordinator answers /events with a redirect to the
+            # owning node's stream (it won't pin a connection per
+            # follower) — chase it, once.
+            if response.status in (301, 302, 307, 308):
+                location = response.getheader("Location") or ""
+                response.read()
+                conn.close()
+                parsed = urllib.parse.urlsplit(location)
+                if parsed.scheme != "http" or not parsed.hostname:
+                    raise ServeError(
+                        502, {"error": f"bad events redirect {location!r}"}
+                    )
+                host = parsed.hostname
+                port = parsed.port if parsed.port is not None else 80
+                path = parsed.path + (
+                    f"?{parsed.query}" if parsed.query else ""
+                )
+                conn = http.client.HTTPConnection(
+                    host, port, timeout=timeout_s
+                )
+                conn.request("GET", path)
+                response = conn.getresponse()
             if response.status >= 400:
                 raw = response.read()
                 try:
@@ -183,26 +274,89 @@ class ServeClient:
                     doc = {"error": raw.decode("utf-8", "replace")}
                 raise ServeError(response.status, doc)
             event: Optional[str] = None
+            event_id: Optional[int] = None
             data_lines = []
             while True:
                 line = response.readline()
                 if not line:
                     return  # stream closed
                 line = line.decode("utf-8").rstrip("\n")
-                if line.startswith("event:"):
+                if line.startswith("id:"):
+                    try:
+                        event_id = int(line[len("id:"):].strip())
+                    except ValueError:
+                        event_id = None
+                elif line.startswith("event:"):
                     event = line[len("event:"):].strip()
                 elif line.startswith("data:"):
                     data_lines.append(line[len("data:"):].strip())
                 elif line == "":
                     if event is not None:
                         payload = "\n".join(data_lines) or "{}"
-                        yield event, json.loads(payload)
+                        yield event_id, event, json.loads(payload)
                         if event in TERMINAL_EVENTS:
                             # Don't wait for EOF: a worker process forked
                             # while this connection was open can hold a
                             # duplicate of its fd, delaying the FIN.
                             return
                     event = None
+                    event_id = None
                     data_lines = []
         finally:
             conn.close()
+
+    def events(
+        self, job_id: str, timeout_s: float = 300.0, cursor: int = 0
+    ) -> Iterator[Tuple[str, dict]]:
+        """Follow the job's SSE stream once, yielding ``(event, data)``.
+
+        The generator ends when the server closes the stream after a
+        terminal event.  For a stream that survives socket drops, use
+        :meth:`follow`.
+        """
+        for _, event, data in self._events_once(job_id, cursor, timeout_s):
+            yield event, data
+
+    def follow(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        reconnect_retries: int = DEFAULT_RETRIES,
+    ) -> Iterator[Tuple[str, dict]]:
+        """Follow a job's events across dropped connections.
+
+        Tracks the last absolute event id seen and, when the socket
+        dies, reconnects with ``?cursor=<last id + 1>`` — no replayed
+        and no silently skipped events.  ``reconnect_retries`` bounds
+        *consecutive* failed reconnects; any delivered event resets the
+        budget, so a long job tolerates many well-spaced drops.
+        """
+        deadline = time.monotonic() + timeout_s
+        cursor = 0
+        failures = 0
+        while True:
+            try:
+                for event_id, event, data in self._events_once(
+                    job_id, cursor, timeout_s
+                ):
+                    failures = 0
+                    if event_id is not None:
+                        cursor = event_id + 1
+                    yield event, data
+                    if event in TERMINAL_EVENTS:
+                        return
+                # Clean close without a terminal event (server drained
+                # mid-stream): if the job is already terminal we are
+                # done; otherwise reconnect and keep following.
+                job = self.get(job_id)
+                if job["state"] not in ("queued", "running"):
+                    return
+            except TRANSIENT_ERRORS:
+                failures += 1
+                if failures > reconnect_retries:
+                    raise
+                time.sleep(backoff_delay(failures))
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"run {job_id} events not terminal after {timeout_s}s"
+                )

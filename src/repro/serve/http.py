@@ -3,23 +3,32 @@
 Endpoints (all under ``/v1``):
 
 * ``POST   /v1/runs``          — submit a :class:`RunRequest` (JSON body;
-  optional ``priority``, ``timeout_s``, ``progress_interval_ms``
-  submission options).  202 queued, 200 cache hit, 429 queue full,
-  503 draining, 400 malformed.
+  optional ``priority``, ``timeout_s``, ``progress_interval_ms``,
+  ``tenant`` submission options).  202 queued, 200 cache hit, 429
+  queue full or rate limited (the latter with a ``Retry-After``
+  header), 503 draining, 400 malformed.
 * ``GET    /v1/runs/<id>``        — job snapshot (state, result, error).
 * ``GET    /v1/runs/<id>/events`` — Server-Sent Events: replays the
   job's lifecycle (``queued``/``started``/``sample``/``retry``/
-  ``done``/``failed``/``cancelled``/``expired``) and follows it live;
-  ``sample`` events carry sampler rows when the submission asked for
-  progress.
+  ``done``/``failed``/``cancelled``/``expired``) and follows it live.
+  Every event frame carries an ``id:`` line with its absolute position
+  in the job's history, and ``?cursor=N`` resumes from position N — a
+  client whose socket dropped reconnects where it left off instead of
+  replaying (or losing) history.
 * ``DELETE /v1/runs/<id>``        — cancel a queued job (409 once running).
 * ``GET    /v1/healthz``          — liveness + drain state.
 * ``GET    /v1/stats``            — queue depth, cache hit rate, worker
   utilization, job state counts, per-priority-class latency
   percentiles, an RSS/tracemalloc/cache memory breakdown, per-tenant
-  rogue scores, and the most recent runs.
+  rogue scores, rate-limit budgets, and the most recent runs.
 * ``GET    /metrics``             — Prometheus text exposition from the
   server's metrics registry (counters, gauges, latency histograms).
+
+The request/response plumbing lives in :class:`HttpBase` so the fleet
+coordinator can reuse it verbatim; everything the serve plane *is*
+(queue, workers, caches, accounting) lives in
+:class:`repro.serve.state.ServerState`.  :class:`SimulationServer`
+is the composition of the two.
 
 On SIGTERM (or :meth:`SimulationServer.request_shutdown`) the server
 drains gracefully: new submissions get 503 while polls keep working,
@@ -31,41 +40,25 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
-import tracemalloc
-import uuid
-from collections import deque
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl
 
-from repro.apps.catalog import APP_CATALOG
-from repro.devices.specs import DEVICES
-from repro.obs.metrics import (
-    EXPOSITION_CONTENT_TYPE,
-    MetricsRegistry,
-    latency_summary,
-    memory_snapshot,
+from repro.obs.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
+from repro.serve.queue import Job, QueueFull
+from repro.serve.spec import SPEC_VERSION
+from repro.serve.state import (  # re-exported; they predate the split
+    BadSubmission,
+    RateLimited,
+    ServeConfig,
+    ServerState,
 )
-from repro.policies.registry import available_policies
-from repro.serve.cache import DEFAULT_MEMORY_BUDGET_BYTES, ResultCache
-from repro.serve.queue import (
-    DEFAULT_TENANT,
-    MAX_PRIORITY,
-    MIN_PRIORITY,
-    Job,
-    JobQueue,
-    JobState,
-    QueueFull,
-)
-from repro.serve.retention import (
-    DEFAULT_JOB_BUDGET_BYTES,
-    DEFAULT_MAX_EVENTS_PER_JOB,
-    DEFAULT_MIN_RETENTION_S,
-    DEFAULT_TOMBSTONE_LIMIT,
-    JobTable,
-)
-from repro.serve.spec import RunRequest, SPEC_VERSION
-from repro.serve.workers import WorkerFleet
+
+__all__ = [
+    "ServeConfig", "ServerState", "SimulationServer", "HttpBase",
+    "BadSubmission", "RateLimited", "run_server", "SERVER_NAME",
+]
 
 SERVER_NAME = f"repro-serve/{SPEC_VERSION}"
 
@@ -85,43 +78,9 @@ _MAX_BODY_BYTES = 1 << 20
 # How often an SSE follower re-checks a job for fresh events.
 _SSE_POLL_S = 0.05
 
-
-@dataclass
-class ServeConfig:
-    """One server instance's knobs."""
-
-    host: str = "127.0.0.1"
-    port: int = 8080  # 0 = ephemeral (tests)
-    workers: int = 2
-    queue_depth: int = 64
-    max_retries: int = 1
-    cache_dir: Optional[str] = None
-    drain_grace_s: float = 60.0
-    # Applied when a submission carries no timeout_s of its own
-    # (None = jobs may wait/run forever).
-    default_timeout_s: Optional[float] = None
-    # Memory-tier byte budget for the result cache (None = unbounded).
-    cache_budget_bytes: Optional[int] = DEFAULT_MEMORY_BUDGET_BYTES
-    # How often the RSS/tracemalloc gauges are re-sampled.
-    mem_sample_interval_s: float = 10.0
-    # Start tracemalloc at server start (costs ~2x on allocations but
-    # attributes the Python heap precisely).
-    enable_tracemalloc: bool = False
-    # Idle SSE followers get a `: ping` comment frame at this interval
-    # so read-timeout clients can tell a quiet stream from a dead one.
-    sse_keepalive_s: float = 15.0
-    # How many recently submitted runs /v1/stats lists (fleet console).
-    recent_jobs: int = 20
-    # Terminal-job retention: canonical-JSON byte budget for finished
-    # jobs (None = retain forever, the pre-retention behavior), the
-    # window inside which a finished job is never evicted, and the
-    # bound on eviction tombstones (410 Gone summaries).
-    job_budget_bytes: Optional[int] = DEFAULT_JOB_BUDGET_BYTES
-    job_min_retention_s: float = DEFAULT_MIN_RETENTION_S
-    job_tombstone_limit: int = DEFAULT_TOMBSTONE_LIMIT
-    # Per-job event-list cap; SSE followers see a `dropped_events`
-    # marker where history was lost (None = unbounded).
-    max_events_per_job: Optional[int] = DEFAULT_MAX_EVENTS_PER_JOB
+# Stamped by the coordinator on proxied submissions so the receiving
+# node can detect (and count) routing mistakes.
+ROUTE_NODE_HEADER = "x-repro-route-node"
 
 
 class _BadRequest(Exception):
@@ -132,589 +91,23 @@ class _PayloadTooLarge(Exception):
     """Maps to a 413 with the exception text as the error body."""
 
 
-class SimulationServer:
-    """Queue + fleet + cache behind an asyncio HTTP listener."""
+class HttpBase:
+    """Reusable asyncio HTTP plumbing: parse, dispatch, encode.
 
-    def __init__(self, config: Optional[ServeConfig] = None):
-        self.config = config or ServeConfig()
-        # Per-instance registry: two servers in one process (tests)
-        # must not collide on family names or blend their counters.
-        self.registry = MetricsRegistry()
-        self.cache = ResultCache(
-            self.config.cache_dir,
-            memory_budget_bytes=self.config.cache_budget_bytes,
-            registry=self.registry,
-        )
-        self.queue = JobQueue(
-            maxsize=self.config.queue_depth, registry=self.registry
-        )
-        self.fleet = WorkerFleet(
-            size=self.config.workers,
-            max_retries=self.config.max_retries,
-            on_progress=self._on_progress,
-            registry=self.registry,
-        )
-        self.table = JobTable(
-            budget_bytes=self.config.job_budget_bytes,
-            min_retention_s=self.config.job_min_retention_s,
-            tombstone_limit=self.config.job_tombstone_limit,
-            registry=self.registry,
-        )
-        # Dequeue-time expiries never surface from queue.pop(); the
-        # callback folds them into tenant/retention accounting anyway.
-        self.queue.on_expired = self._finalize_job
-        self.submitted_total = 0
-        self.cache_hit_jobs = 0
-        self.draining = False
-        self.port: Optional[int] = None
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._supervisor_task: Optional[asyncio.Task] = None
-        self._job_tasks: set = set()
-        self._slots: Optional[asyncio.Semaphore] = None
-        self._stopped = asyncio.Event()
-        self._drain_task: Optional[asyncio.Task] = None
-        self._started_at: Optional[float] = None
-        self._mem_task: Optional[asyncio.Task] = None
-        self._memory_sample = memory_snapshot()
-        # Per-tenant accumulators for the fleet console's rogue scores.
-        self.tenants: Dict[str, dict] = {}
-        self._recent: deque = deque(maxlen=max(1, self.config.recent_jobs))
-        self._submitted_counter = self.registry.counter(
-            "repro_serve_jobs_submitted_total",
-            "Submissions admitted (including cache hits)",
-        )
-        self._cache_hit_jobs_counter = self.registry.counter(
-            "repro_serve_cache_hit_jobs_total",
-            "Submissions answered from the result cache without queueing",
-        )
-        self._responses_counter = self.registry.counter(
+    Subclasses implement :meth:`_dispatch` and may override
+    ``server_name``.  One request per connection, JSON everywhere,
+    bounded bodies — the same dialect
+    :mod:`repro.fleet.transport` speaks from the client side.
+    """
+
+    server_name = SERVER_NAME
+
+    def __init__(self, registry: MetricsRegistry):
+        self._responses_counter = registry.counter(
             "repro_serve_http_responses_total",
             "HTTP responses by status code", labelnames=("status",),
         )
-        self._keepalive_counter = self.registry.counter(
-            "repro_serve_sse_keepalives_total",
-            "SSE `: ping` comment frames written to idle followers",
-        )
-        self._events_dropped_counter = self.registry.counter(
-            "repro_serve_job_events_dropped_total",
-            "Per-job lifecycle events dropped by the max_events_per_job cap",
-        )
-        self._e2e_hist = self.registry.histogram(
-            "repro_serve_e2e_seconds",
-            "Submit-to-done latency per priority class "
-            "(includes cache hits)",
-            labelnames=("priority_class",),
-            min_value=0.001,
-        )
-        self._rss_gauge = self.registry.gauge(
-            "repro_process_rss_bytes",
-            "Resident set size sampled every mem_sample_interval_s",
-        )
-        self._tm_current_gauge = self.registry.gauge(
-            "repro_process_tracemalloc_bytes",
-            "tracemalloc-traced Python heap (0 when not tracing)",
-        )
-        self._tm_peak_gauge = self.registry.gauge(
-            "repro_process_tracemalloc_peak_bytes",
-            "tracemalloc peak traced heap (0 when not tracing)",
-        )
-        self.registry.gauge(
-            "repro_serve_uptime_seconds", "Seconds since server start",
-            fn=lambda: self.healthz()["uptime_s"],
-        )
 
-    @property
-    def jobs(self) -> Dict[str, Job]:
-        """Live + retained-terminal jobs (the job table's registry)."""
-        return self.table.jobs
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    async def start(self) -> None:
-        loop = asyncio.get_event_loop()
-        self._started_at = loop.time()
-        if self.config.enable_tracemalloc and not tracemalloc.is_tracing():
-            tracemalloc.start()
-        self.fleet.start(loop)
-        self._slots = asyncio.Semaphore(self.config.workers)
-        self._supervisor_task = asyncio.ensure_future(self._supervise())
-        self._sample_memory()
-        self._mem_task = asyncio.ensure_future(self._memory_sampler())
-        self._server = await asyncio.start_server(
-            self._handle_client, host=self.config.host, port=self.config.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-
-    # ------------------------------------------------------------------
-    # Memory accounting
-    # ------------------------------------------------------------------
-    def _sample_memory(self) -> dict:
-        sample = memory_snapshot()
-        self._memory_sample = sample
-        self._rss_gauge.set(sample["rss_bytes"])
-        self._tm_current_gauge.set(sample["tracemalloc"]["current_bytes"])
-        self._tm_peak_gauge.set(sample["tracemalloc"]["peak_bytes"])
-        return sample
-
-    async def _memory_sampler(self) -> None:
-        """Refresh the RSS/tracemalloc gauges on a fixed interval.
-
-        The same tick re-runs the job-table GC: a burst of results can
-        leave the table over budget but inside the min-retention
-        window, and with no further submissions nothing else would
-        re-enforce the budget once the window passes.
-        """
-        interval = max(0.05, self.config.mem_sample_interval_s)
-        while True:
-            await asyncio.sleep(interval)
-            self._sample_memory()
-            self.table.gc()
-
-    def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT → graceful drain (main-thread loops only)."""
-        loop = asyncio.get_event_loop()
-        for signum in (signal.SIGTERM, signal.SIGINT):
-            try:
-                loop.add_signal_handler(signum, self.request_shutdown)
-            except (NotImplementedError, ValueError, RuntimeError):
-                return  # not the main thread / unsupported platform
-
-    async def serve_forever(self) -> None:
-        await self._stopped.wait()
-
-    def request_shutdown(self) -> None:
-        """Begin the graceful drain (idempotent, signal-handler safe)."""
-        if self._drain_task is None:
-            self._drain_task = asyncio.ensure_future(self._drain())
-
-    async def _drain(self) -> None:
-        self.draining = True
-        self.queue.close()
-
-        async def settle() -> None:
-            if self._supervisor_task is not None:
-                await self._supervisor_task
-            if self._job_tasks:
-                await asyncio.gather(
-                    *list(self._job_tasks), return_exceptions=True
-                )
-
-        try:
-            await asyncio.wait_for(settle(), timeout=self.config.drain_grace_s)
-        except asyncio.TimeoutError:
-            # Grace expired: drop what's left.  The swept jobs go
-            # through the same terminal accounting as a DELETE cancel,
-            # so tenant docs and queue totals agree after a hard drain.
-            for job in self.queue.cancel_all():
-                self._finalize_job(job)
-            for task in list(self._job_tasks):
-                task.cancel()
-            await asyncio.gather(*list(self._job_tasks), return_exceptions=True)
-        if self._mem_task is not None:
-            self._mem_task.cancel()
-        self.fleet.shutdown(wait=True)
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        self._stopped.set()
-
-    # ------------------------------------------------------------------
-    # Supervision: queue -> fleet
-    # ------------------------------------------------------------------
-    async def _supervise(self) -> None:
-        """Feed the fleet one job per free worker slot, forever.
-
-        Acquiring a slot *before* popping keeps waiting jobs inside the
-        priority queue (where deadlines and cancellation still apply)
-        instead of parking them in the pool's opaque internal queue.
-        """
-        while True:
-            await self._slots.acquire()
-            job = await self.queue.pop()
-            if job is None:  # closed and drained
-                self._slots.release()
-                return
-            task = asyncio.ensure_future(self._run_job(job))
-            self._job_tasks.add(task)
-            task.add_done_callback(self._job_tasks.discard)
-
-    async def _run_job(self, job: Job) -> None:
-        loop = asyncio.get_event_loop()
-        try:
-            remaining: Optional[float] = None
-            if job.deadline_at is not None:
-                remaining = job.deadline_at - loop.time()
-                if remaining <= 0:
-                    # One accounting path with dequeue-time expiry:
-                    # queue.expire moves the stats total AND the
-                    # Prometheus counter (they used to diverge here).
-                    self.queue.expire(
-                        job,
-                        reason="deadline exceeded before a worker was free",
-                    )
-                    return
-            job.state = JobState.RUNNING
-            job.started_at = loop.time()
-            job.add_event("started", {
-                "queued_s": round(job.started_at - job.submitted_at, 4),
-                "attempt": job.attempts + 1,
-            })
-            try:
-                run = self.fleet.run(job)
-                if remaining is not None:
-                    outcome = await asyncio.wait_for(run, timeout=remaining)
-                else:
-                    outcome = await run
-            except asyncio.TimeoutError:
-                job.state = JobState.FAILED
-                job.error = (
-                    f"deadline exceeded after "
-                    f"{loop.time() - job.submitted_at:.3f}s"
-                )
-                job.add_event("failed", {"error": job.error})
-                return  # slot release deferred if the attempt lives on
-            except asyncio.CancelledError:
-                job.state = JobState.CANCELLED
-                job.error = "server shut down before the job finished"
-                job.add_event("cancelled", {"error": job.error})
-                raise
-            except Exception as exc:  # WorkerCrashed, sim errors, pickling
-                job.state = JobState.FAILED
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.add_event("failed", {"error": job.error})
-                return
-            job.result = outcome["result"]
-            job.state = JobState.DONE
-            job.finished_at = loop.time()
-            self.cache.put(
-                job.cache_key, job.result, request=job.request.to_dict()
-            )
-            job.stored_at = loop.time()
-            job.add_event("done", {
-                "cache_hit": False,
-                "worker_pid": outcome.get("worker_pid"),
-                "fps": job.result.get("fps"),
-                "refault": job.result.get("refault"),
-            })
-        finally:
-            if job.finished_at is None:
-                job.finished_at = loop.time()
-            self._finalize_job(job)
-            # A deadline timeout cancels the awaiting coroutine but a
-            # pool process cannot be interrupted mid-call: the worker
-            # keeps executing, so releasing the slot now would let the
-            # supervisor dispatch more jobs than there are free
-            # workers.  Hold the slot until the abandoned attempt
-            # actually returns.
-            drain = self.fleet.abandoned_drain(job.id)
-            if drain is None:
-                self._slots.release()
-            else:
-                task = asyncio.ensure_future(self._release_slot_after(drain))
-                self._job_tasks.add(task)
-                task.add_done_callback(self._job_tasks.discard)
-
-    async def _release_slot_after(self, drain) -> None:
-        try:
-            await drain
-        finally:
-            self._slots.release()
-
-    def _tenant_acc(self, tenant: str) -> dict:
-        acc = self.tenants.get(tenant)
-        if acc is None:
-            acc = self.tenants[tenant] = {
-                "submitted": 0, "cache_hits": 0, "done": 0, "failed": 0,
-                "expired": 0, "cancelled": 0,
-                "exec_s": 0.0, "queue_wait_s": 0.0,
-            }
-        return acc
-
-    def _finalize_job(self, job: Job) -> None:
-        """Fold a newly terminal job into every accumulator — once.
-
-        Jobs reach terminal states down several paths (worker return,
-        cache hit, DELETE cancel, queue expiry, forced drain); this is
-        the single place tenant accounting, latency histograms, and
-        job-table retention happen, and the ``finalized`` flag makes a
-        second arrival a no-op.
-        """
-        if job.finalized or not job.terminal:
-            return
-        job.finalized = True
-        acc = self._tenant_acc(job.tenant)
-        spans = job.spans()
-        if spans["queue_wait_s"] is not None:
-            acc["queue_wait_s"] += spans["queue_wait_s"]
-        if job.state == JobState.DONE:
-            acc["done"] += 1
-            if spans["exec_s"] is not None:
-                acc["exec_s"] += spans["exec_s"]
-            if spans["e2e_s"] is not None:
-                self._e2e_hist.labels(job.priority_class).observe(
-                    spans["e2e_s"]
-                )
-        elif job.state == JobState.FAILED:
-            acc["failed"] += 1
-            if spans["exec_s"] is not None:
-                acc["exec_s"] += spans["exec_s"]
-        elif job.state == JobState.EXPIRED:
-            acc["expired"] += 1
-        elif job.state == JobState.CANCELLED:
-            acc["cancelled"] += 1
-        self.table.note_terminal(job)
-
-    def _on_progress(self, message: dict) -> None:
-        job = self.jobs.get(message.get("job_id", ""))
-        if job is not None and not job.terminal:
-            job.add_event(message["event"], message["data"])
-
-    # ------------------------------------------------------------------
-    # Submission
-    # ------------------------------------------------------------------
-    def submit(self, payload: dict) -> Tuple[int, Job]:
-        """Admit one request; returns ``(http_status, job)``.
-
-        Raises :class:`_BadRequest` for malformed payloads and
-        :class:`QueueFull` for backpressure.
-        """
-        if self.draining:
-            raise _BadRequest("server is draining")  # callers map to 503
-        options, request = self._parse_submission(payload)
-        loop = asyncio.get_event_loop()
-        job = Job(
-            id=f"run-{uuid.uuid4().hex[:12]}",
-            request=request,
-            priority=options["priority"],
-            tenant=options["tenant"],
-            submitted_at=loop.time(),
-            progress_interval_ms=options["progress_interval_ms"],
-            max_events=self.config.max_events_per_job,
-            on_event_dropped=self._events_dropped_counter.inc,
-        )
-        timeout_s = options["timeout_s"]
-        if timeout_s is None:
-            timeout_s = self.config.default_timeout_s
-        if timeout_s is not None:
-            job.deadline_at = job.submitted_at + timeout_s
-
-        self.submitted_total += 1
-        self._submitted_counter.inc()
-        acc = self._tenant_acc(job.tenant)
-        acc["submitted"] += 1
-        cached = self.cache.get(job.cache_key)
-        if cached is not None:
-            # Served straight from the content address: no queueing, no
-            # worker, terminal immediately.
-            job.cache_hit = True
-            job.result = cached
-            job.state = JobState.DONE
-            job.finished_at = loop.time()
-            self.cache_hit_jobs += 1
-            self._cache_hit_jobs_counter.inc()
-            acc["cache_hits"] += 1
-            self.table.add(job)
-            self._recent.append(job.id)
-            job.add_event("done", {
-                "cache_hit": True,
-                "fps": cached.get("fps"),
-                "refault": cached.get("refault"),
-            })
-            self._finalize_job(job)  # done count, e2e latency, retention
-            return 200, job
-        self.queue.push(job)  # may raise QueueFull -> 429
-        self.table.add(job)
-        self._recent.append(job.id)
-        return 202, job
-
-    def _parse_submission(self, payload: dict) -> Tuple[dict, RunRequest]:
-        if not isinstance(payload, dict):
-            raise _BadRequest("request body must be a JSON object")
-        payload = dict(payload)
-        options = {
-            "priority": payload.pop("priority", None),
-            "timeout_s": payload.pop("timeout_s", None),
-            "progress_interval_ms": payload.pop("progress_interval_ms", None),
-            "tenant": payload.pop("tenant", None),
-        }
-        if options["priority"] is None:
-            options["priority"] = 10
-        if options["tenant"] is None:
-            options["tenant"] = DEFAULT_TENANT
-        if (
-            not isinstance(options["tenant"], str)
-            or not options["tenant"]
-            or len(options["tenant"]) > 64
-        ):
-            raise _BadRequest("tenant must be a non-empty string (<= 64 chars)")
-        try:
-            options["priority"] = int(options["priority"])
-            if not MIN_PRIORITY <= options["priority"] <= MAX_PRIORITY:
-                raise ValueError(
-                    f"priority must be between {MIN_PRIORITY} and "
-                    f"{MAX_PRIORITY} (lower runs first; default 10)"
-                )
-            if options["timeout_s"] is not None:
-                options["timeout_s"] = float(options["timeout_s"])
-                if options["timeout_s"] <= 0:
-                    raise ValueError("timeout_s must be positive")
-            if options["progress_interval_ms"] is not None:
-                options["progress_interval_ms"] = float(
-                    options["progress_interval_ms"]
-                )
-                if options["progress_interval_ms"] <= 0:
-                    raise ValueError("progress_interval_ms must be positive")
-            request = RunRequest.from_dict(payload)
-        except (TypeError, ValueError) as exc:
-            raise _BadRequest(str(exc)) from None
-        if request.policy not in available_policies():
-            raise _BadRequest(
-                f"unknown policy {request.policy!r}; "
-                f"valid: {', '.join(available_policies())}"
-            )
-        if request.scenario not in APP_CATALOG and not request.known_scenario():
-            raise _BadRequest(
-                f"unknown scenario {request.scenario!r}; "
-                f"valid scenario ids S-A..S-D or a catalog package name"
-            )
-        if request.device not in DEVICES:
-            raise _BadRequest(
-                f"unknown device {request.device!r}; "
-                f"valid: {', '.join(sorted(DEVICES))}"
-            )
-        return options, request
-
-    # ------------------------------------------------------------------
-    # Introspection documents
-    # ------------------------------------------------------------------
-    def healthz(self) -> dict:
-        loop = asyncio.get_event_loop()
-        uptime = (
-            loop.time() - self._started_at if self._started_at is not None
-            else 0.0
-        )
-        return {
-            "status": "draining" if self.draining else "ok",
-            "server": SERVER_NAME,
-            "uptime_s": round(uptime, 3),
-        }
-
-    def stats(self) -> dict:
-        states = self.table.state_counts()
-        queue_stats = self.queue.stats()
-        fleet_stats = self.fleet.stats()
-        cache_stats = self.cache.stats()
-        doc = self.healthz()
-        doc.update({
-            "jobs": {
-                "submitted_total": self.submitted_total,
-                "cache_hits": self.cache_hit_jobs,
-                "events_dropped_total": int(
-                    self._events_dropped_counter.value
-                ),
-                **states,
-            },
-            "queue": queue_stats,
-            "retention": self.table.stats(),
-            "cache": cache_stats,
-            "workers": fleet_stats,
-            "latency": {
-                "queue_wait_s": queue_stats["queue_wait_s"],
-                "exec_s": fleet_stats["exec_s"],
-                "e2e_s": latency_summary(self._e2e_hist),
-            },
-            "memory": {
-                **self._memory_sample,
-                "cache_memory_bytes": self.cache.memory_bytes,
-                "cache_budget_bytes": self.cache.memory_budget_bytes,
-            },
-            "tenants": self._tenant_docs(),
-            "recent": [
-                self._recent_doc(job_id) for job_id in reversed(self._recent)
-            ],
-        })
-        return doc
-
-    def _recent_doc(self, job_id: str) -> dict:
-        # A tight retention budget can evict a run while it is still in
-        # the recent ring; the console row survives via its tombstone.
-        job, tombstone = self.table.lookup(job_id)
-        if job is None:
-            doc = tombstone or {"id": job_id, "state": "evicted"}
-            return {
-                "id": doc.get("id", job_id),
-                "tenant": doc.get("tenant"),
-                "state": doc.get("state"),
-                "priority": doc.get("priority"),
-                "cache_hit": doc.get("cache_hit"),
-                "scenario": doc.get("scenario"),
-                "policy": doc.get("policy"),
-                "evicted": True,
-            }
-        return {
-            "id": job.id,
-            "tenant": job.tenant,
-            "state": job.state,
-            "priority": job.priority,
-            "cache_hit": job.cache_hit,
-            "scenario": job.request.scenario,
-            "policy": job.request.policy,
-        }
-
-    def _tenant_docs(self) -> Dict[str, dict]:
-        """Per-tenant shares and a blended rogue score.
-
-        The score maps the SNIPPETS "rogue hunter" dimensions onto
-        queue behavior: blocking (40%) = share of jobs currently
-        parked in the queue, contention (30%) = share of all worker
-        execution seconds consumed, pressure (20%) = share of total
-        submissions, inefficiency (10%) = own failure rate.  1.0 means
-        one tenant owns the whole fleet's pain.
-        """
-        queued_by_tenant: Dict[str, int] = {}
-        for job in self.jobs.values():
-            if job.state == JobState.QUEUED:
-                queued_by_tenant[job.tenant] = (
-                    queued_by_tenant.get(job.tenant, 0) + 1
-                )
-        total_queued = sum(queued_by_tenant.values())
-        total_exec = sum(acc["exec_s"] for acc in self.tenants.values())
-        total_submitted = sum(
-            acc["submitted"] for acc in self.tenants.values()
-        )
-        docs: Dict[str, dict] = {}
-        for tenant, acc in sorted(self.tenants.items()):
-            queued = queued_by_tenant.get(tenant, 0)
-            queue_share = queued / total_queued if total_queued else 0.0
-            exec_share = (
-                acc["exec_s"] / total_exec if total_exec else 0.0
-            )
-            submit_share = (
-                acc["submitted"] / total_submitted if total_submitted else 0.0
-            )
-            attempts = acc["done"] + acc["failed"]
-            failure_rate = acc["failed"] / attempts if attempts else 0.0
-            rogue = (
-                0.4 * queue_share
-                + 0.3 * exec_share
-                + 0.2 * submit_share
-                + 0.1 * failure_rate
-            )
-            docs[tenant] = {
-                **{k: round(v, 4) if isinstance(v, float) else v
-                   for k, v in acc.items()},
-                "queued_now": queued,
-                "queue_share": round(queue_share, 4),
-                "exec_share": round(exec_share, 4),
-                "submit_share": round(submit_share, 4),
-                "failure_rate": round(failure_rate, 4),
-                "rogue_score": round(rogue, 4),
-            }
-        return docs
-
-    # ------------------------------------------------------------------
-    # HTTP plumbing
     # ------------------------------------------------------------------
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -723,8 +116,8 @@ class SimulationServer:
             parsed = await self._read_request(reader)
             if parsed is None:
                 return
-            method, path, body = parsed
-            await self._dispatch(writer, method, path, body)
+            method, path, query, headers, body = parsed
+            await self._dispatch(writer, method, path, query, headers, body)
         except _BadRequest as exc:
             try:
                 self._write_json(writer, 400, {"error": str(exc)})
@@ -773,7 +166,10 @@ class SimulationServer:
             drained += len(chunk)
 
     @staticmethod
-    async def _read_request(reader) -> Optional[Tuple[str, str, bytes]]:
+    async def _read_request(
+        reader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], Dict[str, str], bytes]]:
+        """Parse one request into (method, path, query, headers, body)."""
         # StreamReader.readline raises ValueError past the stream's
         # buffer limit; an attacker's kilometer-long header line is a
         # malformed request (400), not a server bug (500).
@@ -787,6 +183,7 @@ class SimulationServer:
         if len(parts) < 2:
             return None
         method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
         content_length = 0
         while True:
             try:
@@ -796,7 +193,9 @@ class SimulationServer:
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            headers[name] = value.strip()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
@@ -819,11 +218,158 @@ class SimulationServer:
             raise _BadRequest(
                 "request body shorter than Content-Length"
             ) from None
-        path = target.split("?", 1)[0]
-        return method, path, body
+        path, _, query_string = target.partition("?")
+        query = dict(parse_qsl(query_string)) if query_string else {}
+        return method, path, query, headers, body
 
     async def _dispatch(
-        self, writer, method: str, path: str, body: bytes
+        self, writer, method: str, path: str,
+        query: Dict[str, str], headers: Dict[str, str], body: bytes,
+    ) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _write_json(
+        self, writer, status: int, doc: dict,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self._write_bytes(
+            writer, status, json.dumps(doc).encode("utf-8"),
+            "application/json", extra_headers,
+        )
+
+    def _write_text(self, writer, status: int, text: str,
+                    content_type: str = "text/plain; charset=utf-8") -> None:
+        self._write_bytes(writer, status, text.encode("utf-8"), content_type)
+
+    def _write_bytes(
+        self, writer, status: int, body: bytes, content_type: str,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self._responses_counter.labels(str(status)).inc()
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Server: {self.server_name}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in extra_headers:
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: close")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+
+
+class SimulationServer(HttpBase):
+    """A :class:`ServerState` behind an asyncio HTTP listener."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.state = ServerState(config)
+        super().__init__(self.state.registry)
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped = asyncio.Event()
+        self._drain_task: Optional[asyncio.Task] = None
+        self._keepalive_counter = self.registry.counter(
+            "repro_serve_sse_keepalives_total",
+            "SSE `: ping` comment frames written to idle followers",
+        )
+
+    # The state's collaborators were public attributes before the
+    # state/transport split; keep them reachable (tests, bench, CLI).
+    @property
+    def config(self) -> ServeConfig:
+        return self.state.config
+
+    @property
+    def registry(self):
+        return self.state.registry
+
+    @property
+    def cache(self):
+        return self.state.cache
+
+    @property
+    def queue(self):
+        return self.state.queue
+
+    @property
+    def fleet(self):
+        return self.state.fleet
+
+    @property
+    def table(self):
+        return self.state.table
+
+    @property
+    def jobs(self) -> Dict[str, Job]:
+        return self.state.jobs
+
+    @property
+    def tenants(self) -> Dict[str, dict]:
+        return self.state.tenants
+
+    @property
+    def submitted_total(self) -> int:
+        return self.state.submitted_total
+
+    @property
+    def cache_hit_jobs(self) -> int:
+        return self.state.cache_hit_jobs
+
+    @property
+    def draining(self) -> bool:
+        return self.state.draining
+
+    def submit(self, payload: dict) -> Tuple[int, Job]:
+        return self.state.submit(payload)
+
+    def healthz(self) -> dict:
+        return self.state.healthz()
+
+    def stats(self) -> dict:
+        return self.state.stats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self.state.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main-thread loops only)."""
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, ValueError, RuntimeError):
+                return  # not the main thread / unsupported platform
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, signal-handler safe)."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        await self.state.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, writer, method: str, path: str,
+        query: Dict[str, str], headers: Dict[str, str], body: bytes,
     ) -> None:
         if path == "/v1/healthz" and method == "GET":
             self._write_json(writer, 200, self.healthz())
@@ -834,14 +380,14 @@ class SimulationServer:
         if path == "/metrics" and method == "GET":
             # Refresh the sampled gauges so a scrape is never staler
             # than the exposition it reads.
-            self._sample_memory()
+            self.state.sample_memory()
             self._write_text(
                 writer, 200, self.registry.render(),
                 content_type=EXPOSITION_CONTENT_TYPE,
             )
             return
         if path == "/v1/runs" and method == "POST":
-            self._handle_submit(writer, body)
+            self._handle_submit(writer, headers, body)
             return
         if path.startswith("/v1/runs/"):
             rest = path[len("/v1/runs/"):]
@@ -852,7 +398,9 @@ class SimulationServer:
                         writer, 405, {"error": "method not allowed"}
                     )
                     return
-                await self._handle_events(writer, rest[: -len("/events")])
+                await self._handle_events(
+                    writer, rest[: -len("/events")], query
+                )
                 return
             if "/" not in rest:
                 if method == "GET":
@@ -865,13 +413,25 @@ class SimulationServer:
                 return
         self._write_json(writer, 404, {"error": f"no route for {method} {path}"})
 
-    def _handle_submit(self, writer, body: bytes) -> None:
+    def _handle_submit(
+        self, writer, headers: Dict[str, str], body: bytes
+    ) -> None:
         if self.draining:
             self._write_json(
                 writer, 503,
                 {"error": "server is draining; not accepting new runs"},
             )
             return
+        routed_to = headers.get(ROUTE_NODE_HEADER)
+        if (
+            routed_to is not None
+            and self.config.node_id is not None
+            and routed_to != self.config.node_id
+        ):
+            # Count the coordinator's mistake but serve anyway: the
+            # shared store means a misrouted request is a cold cache,
+            # not a wrong answer.
+            self.state.note_misrouted()
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -879,8 +439,25 @@ class SimulationServer:
             return
         try:
             status, job = self.submit(payload)
-        except _BadRequest as exc:
+        except BadSubmission as exc:
             self._write_json(writer, 400, {"error": str(exc)})
+            return
+        except RateLimited as exc:
+            decision = exc.decision
+            # Retry-After is delta-seconds (an integer per RFC 9110);
+            # the body carries the exact float for clients that parse.
+            retry_after = max(1, math.ceil(decision.retry_after_s))
+            self._write_json(
+                writer, 429,
+                {
+                    "error": str(exc),
+                    "retry_after_s": round(decision.retry_after_s, 4),
+                    "ratelimited": True,
+                    "tenant": decision.tenant,
+                    "priority_class": decision.priority_class,
+                },
+                extra_headers=(("Retry-After", str(retry_after)),),
+            )
             return
         except QueueFull as exc:
             self._write_json(writer, 429, {
@@ -927,7 +504,7 @@ class SimulationServer:
         if job is None:
             return
         if self.queue.cancel(job_id):
-            self._tenant_acc(job.tenant)["cancelled"] += 1
+            self.state._tenant_acc(job.tenant)["cancelled"] += 1
             self._write_json(writer, 200, job.snapshot())
             return
         self._write_json(writer, 409, {
@@ -935,9 +512,24 @@ class SimulationServer:
             "state": job.state,
         })
 
-    async def _handle_events(self, writer, job_id: str) -> None:
+    async def _handle_events(
+        self, writer, job_id: str, query: Dict[str, str]
+    ) -> None:
         job = self._lookup_or_respond(writer, job_id)
         if job is None:
+            return
+        # Absolute position in the job's event history.  ?cursor=N is a
+        # reconnecting follower resuming where its last socket died (it
+        # saw event N-1's `id:` line); a fresh follower starts at 0.
+        try:
+            cursor = int(query.get("cursor", "0"))
+            if cursor < 0:
+                raise ValueError
+        except ValueError:
+            self._write_json(
+                writer, 400,
+                {"error": "cursor must be a non-negative integer"},
+            )
             return
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -948,19 +540,26 @@ class SimulationServer:
         self._responses_counter.labels("200").inc()
         loop = asyncio.get_event_loop()
         last_write = loop.time()
-        # Absolute position in the job's event history.  The retained
-        # window is [events_base, events_base + len(events)): whenever
-        # the cursor falls behind the base (the cap dropped history,
-        # possibly while we were parked on a drain), the follower gets
-        # an explicit `dropped_events` marker instead of a silent gap.
-        cursor = 0
+        # The retained window is [events_base, events_base +
+        # len(events)): whenever the cursor falls behind the base (the
+        # cap dropped history, possibly while we were parked on a
+        # drain), the follower gets an explicit `dropped_events` marker
+        # instead of a silent gap.
         while True:
             dropped = job.events_base - cursor
             if dropped > 0:
                 cursor = job.events_base
+                payload = json.dumps({
+                    "dropped": dropped,
+                    "total_dropped": job.events_dropped,
+                })
+                # The marker stands in for positions [cursor-dropped,
+                # events_base); its id points at the last of them so a
+                # resume lands exactly on events_base.
                 frame = (
+                    f"id: {job.events_base - 1}\n"
                     "event: dropped_events\n"
-                    f"data: {json.dumps({'dropped': dropped, 'total_dropped': job.events_dropped})}\n\n"
+                    f"data: {payload}\n\n"
                 )
                 writer.write(frame.encode("utf-8"))
                 await writer.drain()
@@ -970,11 +569,12 @@ class SimulationServer:
                 # One event per iteration: every drain is an await, and
                 # the cap may advance events_base underneath it.
                 event = job.events[cursor - job.events_base]
-                cursor += 1
                 frame = (
+                    f"id: {cursor}\n"
                     f"event: {event['event']}\n"
                     f"data: {json.dumps(event['data'])}\n\n"
                 )
+                cursor += 1
                 writer.write(frame.encode("utf-8"))
                 await writer.drain()
                 last_write = loop.time()
@@ -993,28 +593,6 @@ class SimulationServer:
                 await writer.drain()
                 last_write = loop.time()
                 self._keepalive_counter.inc()
-
-    def _write_json(self, writer, status: int, doc: dict) -> None:
-        self._write_bytes(
-            writer, status, json.dumps(doc).encode("utf-8"),
-            "application/json",
-        )
-
-    def _write_text(self, writer, status: int, text: str,
-                    content_type: str = "text/plain; charset=utf-8") -> None:
-        self._write_bytes(writer, status, text.encode("utf-8"), content_type)
-
-    def _write_bytes(self, writer, status: int, body: bytes,
-                     content_type: str) -> None:
-        self._responses_counter.labels(str(status)).inc()
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Server: {SERVER_NAME}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
-        )
-        writer.write(head.encode("latin-1") + body)
 
 
 async def run_server(config: ServeConfig, ready=None) -> None:

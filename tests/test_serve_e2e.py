@@ -535,11 +535,12 @@ def test_timed_out_job_cannot_oversubscribe_the_worker():
     config = ServeConfig(port=0, workers=1)
     with ServerThread(config) as thread:
         client = ServeClient(thread.base_url)
-        # ~4s of wall clock, but a 0.5s deadline: the await is cancelled
-        # while the pool process keeps simulating.
+        # Several seconds of wall clock (~260 sim-s/wall-s), but a 0.5s
+        # deadline: the await is cancelled while the pool process keeps
+        # simulating.
         doomed = client.submit({
             "scenario": "S-A", "bg_case": "bg-null",
-            "seconds": 120.0, "seed": 80,
+            "seconds": 2000.0, "seed": 80,
         }, timeout_s=0.5)
         follower = client.submit({
             "scenario": "S-A", "bg_case": "bg-null",
